@@ -1,0 +1,264 @@
+package specsampling
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation section. Each benchmark regenerates its artefact —
+// the same rows/series the paper reports — and publishes the headline
+// numbers as benchmark metrics so regressions in the reproduction's *shape*
+// (who wins, by what factor) are visible in benchmark diffs.
+//
+// By default the harness runs on a representative 6-benchmark subset at the
+// "small" scale so `go test -bench=.` completes in minutes. Set
+// SPECSIM_SCALE=medium (or full) and SPECSIM_ALL=1 to regenerate
+// EXPERIMENTS.md-grade numbers:
+//
+//	SPECSIM_SCALE=medium SPECSIM_ALL=1 go test -bench=. -benchtime=1x
+
+import (
+	"io"
+	"os"
+	"sync"
+	"testing"
+
+	"specsampling/internal/experiments"
+	"specsampling/internal/workload"
+)
+
+// benchSubset covers the paper's behavioural extremes: few-phase
+// (omnetpp), dominant-phase FP (bwaves), uniform-weight (deepsjeng),
+// pointer-chasing (mcf), mixed INT (xz) and the Figure 3 subject
+// (xalancbmk).
+var benchSubset = []string{
+	"520.omnetpp_r", "505.mcf_r", "557.xz_r",
+	"623.xalancbmk_s", "631.deepsjeng_s", "503.bwaves_r",
+}
+
+var (
+	runnerOnce sync.Once
+	runner     *experiments.Runner
+	runnerErr  error
+)
+
+// sharedRunner caches analyses across benchmarks so each figure pays only
+// its own incremental cost.
+func sharedRunner(b *testing.B) *experiments.Runner {
+	b.Helper()
+	runnerOnce.Do(func() {
+		scale := workload.ScaleFromEnv(workload.ScaleSmall)
+		benches := benchSubset
+		if os.Getenv("SPECSIM_ALL") != "" {
+			benches = nil // full 29-benchmark suite
+		}
+		var out io.Writer = io.Discard
+		if testing.Verbose() {
+			out = os.Stdout
+		}
+		runner, runnerErr = experiments.New(experiments.Options{
+			Scale:      scale,
+			Benchmarks: benches,
+			Out:        out,
+		})
+	})
+	if runnerErr != nil {
+		b.Fatal(runnerErr)
+	}
+	return runner
+}
+
+// BenchmarkTableI regenerates Table I (allcache configuration).
+func BenchmarkTableI(b *testing.B) {
+	r := sharedRunner(b)
+	for i := 0; i < b.N; i++ {
+		r.TableI()
+	}
+}
+
+// BenchmarkTableII regenerates Table II: simulation points and
+// 90th-percentile simulation points per benchmark. Paper averages: 19.75
+// and 11.31.
+func BenchmarkTableII(b *testing.B) {
+	r := sharedRunner(b)
+	for i := 0; i < b.N; i++ {
+		res, err := r.TableII()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.AvgPoints, "avg-points")
+		b.ReportMetric(res.AvgPoints90, "avg-points-90pct")
+	}
+}
+
+// BenchmarkTableIII regenerates Table III (Sniper system configuration).
+func BenchmarkTableIII(b *testing.B) {
+	r := sharedRunner(b)
+	for i := 0; i < b.N; i++ {
+		r.TableIII()
+	}
+}
+
+// BenchmarkFig3a regenerates Figure 3(a): MaxK sensitivity for
+// xalancbmk_s.
+func BenchmarkFig3a(b *testing.B) {
+	r := sharedRunner(b)
+	for i := 0; i < b.N; i++ {
+		res, err := r.Fig3a("623.xalancbmk_s", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(float64(last.NumPoints), "points-at-maxk35")
+	}
+}
+
+// BenchmarkFig3b regenerates Figure 3(b): slice-size sensitivity for
+// xalancbmk_s.
+func BenchmarkFig3b(b *testing.B) {
+	r := sharedRunner(b)
+	for i := 0; i < b.N; i++ {
+		res, err := r.Fig3b("623.xalancbmk_s", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// L3 cold-start inflation should shrink as slices grow: report the
+		// first/last L3 miss rates.
+		b.ReportMetric(res.Points[0].Cache.L3*100, "L3-miss-at-15M-%")
+		b.ReportMetric(res.Points[len(res.Points)-1].Cache.L3*100, "L3-miss-at-100M-%")
+	}
+}
+
+// BenchmarkFig4 regenerates Figure 4: within-cluster variance vs cluster
+// count.
+func BenchmarkFig4(b *testing.B) {
+	r := sharedRunner(b)
+	for i := 0; i < b.N; i++ {
+		res, err := r.Fig4(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Variance at k=5 over k=35, averaged: the Figure 4 slope.
+		var ratio float64
+		var n int
+		for _, vs := range res.Variance {
+			if vs[35] > 0 {
+				ratio += vs[5] / vs[35]
+				n++
+			}
+		}
+		if n > 0 {
+			b.ReportMetric(ratio/float64(n), "variance-ratio-k5-over-k35")
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5: instruction-count and run-time
+// reduction of Regional and Reduced Regional runs. Paper: ~650x/~750x and
+// ~1225x/~1297x (at full 29-benchmark, paper-proportional scale).
+func BenchmarkFig5(b *testing.B) {
+	r := sharedRunner(b)
+	for i := 0; i < b.N; i++ {
+		res, err := r.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.SuiteInstrReductionRegional, "instr-reduction-regional-x")
+		b.ReportMetric(res.SuiteInstrReductionReduced, "instr-reduction-reduced-x")
+		b.ReportMetric(res.SuiteTimeReductionRegional, "time-reduction-regional-x")
+		b.ReportMetric(res.SuiteTimeReductionReduced, "time-reduction-reduced-x")
+	}
+}
+
+// BenchmarkFig6 regenerates Figure 6: simulation-point weights.
+func BenchmarkFig6(b *testing.B) {
+	r := sharedRunner(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := r.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range rows {
+			if row.Benchmark == "503.bwaves_r" {
+				// The paper: one dominant ~60% phase, top-3 ~80%.
+				b.ReportMetric(row.Weights[0]*100, "bwaves-top1-weight-%")
+			}
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7: instruction-distribution accuracy.
+// Paper: <1% error for Regional and Reduced Regional runs.
+func BenchmarkFig7(b *testing.B) {
+	r := sharedRunner(b)
+	for i := 0; i < b.N; i++ {
+		res, err := r.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.AvgAbsErrRegional, "mix-err-regional-pp")
+		b.ReportMetric(res.AvgAbsErrReduced, "mix-err-reduced-pp")
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8: cache miss rates of Whole, Regional,
+// Reduced and Warmup Regional runs. Paper: L3 error +25.16% cold, +9.08%
+// warmed.
+func BenchmarkFig8(b *testing.B) {
+	r := sharedRunner(b)
+	for i := 0; i < b.N; i++ {
+		res, err := r.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.RegionalDiff[0], "L1D-err-regional-pp")
+		b.ReportMetric(res.RegionalDiff[2], "L3-err-regional-pp")
+		b.ReportMetric(res.WarmupDiff[2], "L3-err-warmup-pp")
+	}
+}
+
+// BenchmarkFig9 regenerates Figure 9: error and execution time vs
+// simulation-point percentile.
+func BenchmarkFig9(b *testing.B) {
+	r := sharedRunner(b)
+	for i := 0; i < b.N; i++ {
+		pts, err := r.Fig9(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := pts[0], pts[len(pts)-1]
+		b.ReportMetric(first.MixErrPct, "mix-err-at-100pct-pp")
+		b.ReportMetric(last.MixErrPct, "mix-err-at-30pct-pp")
+	}
+}
+
+// BenchmarkFig10 regenerates Figure 10: L3 access counts.
+func BenchmarkFig10(b *testing.B) {
+	r := sharedRunner(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := r.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var whole, regional float64
+		for _, row := range rows {
+			whole += float64(row.Whole)
+			regional += float64(row.Regional)
+		}
+		if regional > 0 {
+			b.ReportMetric(whole/regional, "L3-access-reduction-x")
+		}
+	}
+}
+
+// BenchmarkFig12 regenerates Figure 12: CPI of native execution vs Sniper
+// with simulation points. Paper: 2.59% average error (Regional), 13.9%
+// deviation (Reduced).
+func BenchmarkFig12(b *testing.B) {
+	r := sharedRunner(b)
+	for i := 0; i < b.N; i++ {
+		res, err := r.Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.AvgCPIErrRegionalPct, "cpi-err-regional-%")
+		b.ReportMetric(res.AvgCPIErrReducedPct, "cpi-err-reduced-%")
+		b.ReportMetric(res.Correlation, "cpi-correlation")
+	}
+}

@@ -1,0 +1,96 @@
+// Command experiments reproduces the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run all                       # every table and figure
+//	experiments -run fig8 -scale full          # one experiment at full scale
+//	experiments -run tableII -bench 505.mcf_r,541.leela_r
+//
+// Scale "full" runs the complete suite at the fidelity used for
+// EXPERIMENTS.md (minutes); "medium" (default) is a few times faster;
+// "small" is for quick smoke runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"specsampling/internal/experiments"
+	"specsampling/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	id := fs.String("run", "all", "experiment id: "+strings.Join(experiments.IDs(), ", ")+" or all")
+	scaleName := fs.String("scale", "medium", "workload scale: full, medium or small (env SPECSIM_SCALE overrides)")
+	benches := fs.String("bench", "", "comma-separated benchmark subset (default: all 29)")
+	workers := fs.Int("workers", 0, "parallel replay workers (0 = GOMAXPROCS)")
+	jsonPath := fs.String("json", "", "also write structured results as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale, err := workload.ScaleByName(*scaleName)
+	if err != nil {
+		return err
+	}
+	scale = workload.ScaleFromEnv(scale)
+
+	var names []string
+	if *benches != "" {
+		for _, n := range strings.Split(*benches, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	runner, err := experiments.New(experiments.Options{
+		Scale:      scale,
+		Benchmarks: names,
+		Workers:    *workers,
+		Out:        os.Stdout,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reproducing %s at scale %q over %d benchmarks\n",
+		*id, scale.Name, len(runner.Benchmarks()))
+	start := time.Now()
+	if *jsonPath == "" {
+		if err := runner.Run(*id); err != nil {
+			return err
+		}
+	} else {
+		report := experiments.NewReport()
+		if err := runner.RunRecorded(*id, report); err != nil {
+			return err
+		}
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		var benchNames []string
+		for _, s := range runner.Benchmarks() {
+			benchNames = append(benchNames, s.Name)
+		}
+		if err := report.WriteJSON(f, scale.Name, benchNames); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d experiments)\n", *jsonPath, report.Len())
+	}
+	fmt.Printf("\ncompleted in %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-scale", "nope"}); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	if err := run([]string{"-run", "fig99", "-scale", "small", "-bench", "520.omnetpp_r"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-run", "tableII", "-scale", "small", "-bench", "nope"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-run", "tableI", "-scale", "small", "-bench", "520.omnetpp_r"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-run", "fig6", "-scale", "small", "-bench", "520.omnetpp_r,557.xz_r"}); err != nil {
+		t.Fatal(err)
+	}
+}

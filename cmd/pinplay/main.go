@@ -1,0 +1,152 @@
+// Command pinplay is the checkpointing front-end: it logs whole pinballs,
+// cuts regional pinballs at the SimPoint-chosen regions, and replays
+// pinball files with the standard Pintools — mirroring the PinPlay
+// logger/replayer workflow of the paper's Figure 2.
+//
+// Usage:
+//
+//	pinplay log    -bench 505.mcf_r -dir out/ [-scale medium] [-warmup 16]
+//	pinplay replay -pinball out/505.mcf_r.region_03.pb [-scale medium]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"specsampling/internal/cache"
+	"specsampling/internal/core"
+	"specsampling/internal/pin"
+	"specsampling/internal/pinball"
+	"specsampling/internal/pintool"
+	"specsampling/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pinplay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: pinplay <log|replay> [flags]")
+	}
+	switch args[0] {
+	case "log":
+		return logPinballs(args[1:])
+	case "replay":
+		return replay(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want log or replay)", args[0])
+	}
+}
+
+func logPinballs(args []string) error {
+	fs := flag.NewFlagSet("log", flag.ContinueOnError)
+	bench := fs.String("bench", "", "benchmark name")
+	dir := fs.String("dir", ".", "output directory")
+	scaleName := fs.String("scale", "medium", "workload scale")
+	warmup := fs.Int("warmup", 0, "warm-up slices to attach to each regional pinball")
+	maxK := fs.Int("maxk", 35, "maximum number of clusters")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *bench == "" {
+		return fmt.Errorf("missing -bench")
+	}
+	spec, err := workload.ByName(*bench)
+	if err != nil {
+		return err
+	}
+	scale, err := workload.ScaleByName(*scaleName)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig(scale)
+	cfg.MaxK = *maxK
+	an, err := core.Analyze(spec, cfg)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+
+	whole := an.WholePinball()
+	wholePath := filepath.Join(*dir, spec.Name+".whole.pb")
+	if err := whole.Save(wholePath); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d instructions)\n", wholePath, whole.Len)
+
+	pbs, err := an.Pinballs(an.Result, *warmup)
+	if err != nil {
+		return err
+	}
+	for i, pb := range pbs {
+		path := filepath.Join(*dir, fmt.Sprintf("%s.region_%02d.pb", spec.Name, i))
+		if err := pb.Save(path); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (weight %.4f, %d instructions)\n", path, pb.Weight, pb.Len)
+	}
+	return nil
+}
+
+func replay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	path := fs.String("pinball", "", "pinball file to replay")
+	scaleName := fs.String("scale", "medium", "workload scale the pinball was captured at")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" {
+		return fmt.Errorf("missing -pinball")
+	}
+	pb, err := pinball.Load(*path)
+	if err != nil {
+		return err
+	}
+	if pb.Scale != "" && pb.Scale != *scaleName {
+		fmt.Fprintf(os.Stderr, "pinplay: note: pinball was captured at scale %q, replaying at %q\n", pb.Scale, *scaleName)
+		*scaleName = pb.Scale
+	}
+	spec, err := workload.ByName(pb.Benchmark)
+	if err != nil {
+		return err
+	}
+	scale, err := workload.ScaleByName(*scaleName)
+	if err != nil {
+		return err
+	}
+	prog, err := spec.Build(scale)
+	if err != nil {
+		return err
+	}
+
+	hier, err := cache.NewHierarchy(cache.ScaledHierarchy(cache.TableIConfig(), scale.CacheDivs))
+	if err != nil {
+		return err
+	}
+	mix := pintool.NewLdStMix()
+	ac := pintool.NewAllCache(hier)
+	n, err := pinball.Replay(prog, pb, []pin.Tool{mix, ac}...)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("pinball:      %s (%s, region %d, weight %.4f)\n", *path, pb.Kind, pb.Region, pb.Weight)
+	if pb.HasWarmup {
+		fmt.Printf("warm-up:      %d instructions\n", pb.WarmupLen)
+	}
+	fmt.Printf("instructions: %d\n", n)
+	fr := mix.Fractions()
+	fmt.Printf("ldstmix:      NO_MEM %.2f%%  MEM_R %.2f%%  MEM_W %.2f%%  MEM_RW %.2f%%\n",
+		fr[0]*100, fr[1]*100, fr[2]*100, fr[3]*100)
+	l1d, l2, l3 := hier.MissRates()
+	fmt.Printf("allcache:     L1D %.2f%%  L2 %.2f%%  L3 %.2f%% miss\n", l1d*100, l2*100, l3*100)
+	return nil
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -bench accepted")
+	}
+	if err := run([]string{"-bench", "nope"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := run([]string{"-bench", "505.mcf_r", "-scale", "nope"}); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestRunWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "omn")
+	err := run([]string{"-bench", "omnetpp_r", "-scale", "small",
+		"-percentile", "0.9", "-o", prefix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{
+		prefix + ".simpoints", prefix + ".weights",
+		prefix + ".p90.simpoints", prefix + ".p90.weights",
+	} {
+		if _, err := os.Stat(f); err != nil {
+			t.Errorf("missing output %s: %v", f, err)
+		}
+	}
+}
+
+func TestRunWeightedMode(t *testing.T) {
+	if err := run([]string{"-bench", "omnetpp_r", "-scale", "small", "-weighted"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+// Command specsim is the suite front-end: it lists the synthetic SPEC
+// CPU2017 benchmarks and runs one under the standard Pintools, printing
+// instruction counts, the ldstmix distribution and allcache miss rates.
+//
+// Usage:
+//
+//	specsim list
+//	specsim run -bench 505.mcf_r [-scale medium] [-instrs N]
+//	specsim phases -bench 503.bwaves_r [-scale medium] [-width 100]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specsampling/internal/cache"
+	"specsampling/internal/pin"
+	"specsampling/internal/pintool"
+	"specsampling/internal/textplot"
+	"specsampling/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "specsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: specsim <list|run|phases> [flags]")
+	}
+	switch args[0] {
+	case "list":
+		return list()
+	case "run":
+		return runBench(args[1:])
+	case "phases":
+		return phasesCmd(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want list, run or phases)", args[0])
+	}
+}
+
+func list() error {
+	t := textplot.NewTable("Benchmark", "Class", "Phases", "90pct", "Whole instrs (full scale)")
+	for _, s := range workload.Suite() {
+		t.AddRowf(s.Name, s.Class.String(), s.Phases, s.Phases90, s.WholeInstrs)
+	}
+	fmt.Print(t.String())
+	return nil
+}
+
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	bench := fs.String("bench", "", "benchmark name (e.g. 505.mcf_r)")
+	scaleName := fs.String("scale", "medium", "workload scale: full, medium or small")
+	instrs := fs.Uint64("instrs", 0, "stop after N instructions (0 = run to completion)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *bench == "" {
+		return fmt.Errorf("missing -bench")
+	}
+	spec, err := workload.ByName(*bench)
+	if err != nil {
+		return err
+	}
+	scale, err := workload.ScaleByName(*scaleName)
+	if err != nil {
+		return err
+	}
+	prog, err := spec.Build(scale)
+	if err != nil {
+		return err
+	}
+
+	hier, err := cache.NewHierarchy(cache.ScaledHierarchy(cache.TableIConfig(), scale.CacheDivs))
+	if err != nil {
+		return err
+	}
+	engine := pin.NewEngine(prog)
+	ic := pintool.NewInsCount()
+	mix := pintool.NewLdStMix()
+	ac := pintool.NewAllCache(hier)
+	for _, tool := range []pin.Tool{ic, mix, ac} {
+		if err := engine.Attach(tool); err != nil {
+			return err
+		}
+	}
+	var n uint64
+	if *instrs > 0 {
+		n = engine.Run(*instrs)
+	} else {
+		n = engine.RunToEnd()
+	}
+
+	fmt.Printf("benchmark:    %s (%s)\n", spec.Name, spec.Class)
+	fmt.Printf("scale:        %s\n", scale.Name)
+	fmt.Printf("instructions: %d (%d basic blocks)\n", n, ic.Blocks)
+	fr := mix.Fractions()
+	fmt.Printf("ldstmix:      NO_MEM %.2f%%  MEM_R %.2f%%  MEM_W %.2f%%  MEM_RW %.2f%%\n",
+		fr[0]*100, fr[1]*100, fr[2]*100, fr[3]*100)
+	l1d, l2, l3 := hier.MissRates()
+	fmt.Printf("allcache:     L1I %.2f%%  L1D %.2f%%  L2 %.2f%%  L3 %.2f%% miss\n",
+		hier.L1I.Stats().MissRate()*100, l1d*100, l2*100, l3*100)
+	return nil
+}

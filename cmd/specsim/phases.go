@@ -1,0 +1,116 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+
+	"specsampling/internal/bbv"
+	"specsampling/internal/core"
+	"specsampling/internal/pinball"
+	"specsampling/internal/textplot"
+	"specsampling/internal/timing"
+	"specsampling/internal/workload"
+)
+
+// phasesCmd prints a benchmark's time-varying phase behaviour: a timeline of
+// the execution with each slice labelled by its cluster, plus per-phase
+// statistics — the view Wu et al. (IISWC 2018) correlate with simulation
+// points, as discussed in the paper's related work.
+func phasesCmd(args []string) error {
+	fs := flag.NewFlagSet("phases", flag.ContinueOnError)
+	bench := fs.String("bench", "", "benchmark name")
+	scaleName := fs.String("scale", "medium", "workload scale")
+	width := fs.Int("width", 100, "timeline width in characters")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *bench == "" {
+		return fmt.Errorf("missing -bench")
+	}
+	spec, err := workload.ByName(*bench)
+	if err != nil {
+		return err
+	}
+	scale, err := workload.ScaleByName(*scaleName)
+	if err != nil {
+		return err
+	}
+	an, err := core.Analyze(spec, core.DefaultConfig(scale))
+	if err != nil {
+		return err
+	}
+
+	// Re-assign every slice to its nearest simulation-point cluster by
+	// projecting its BBV the same way the clustering did.
+	proj, err := bbv.NewProjector(an.Prog.NumBlocks(), 15, 2017)
+	if err != nil {
+		return err
+	}
+	centroids := make([][]float64, len(an.Result.Points))
+	for i, pt := range an.Result.Points {
+		v := append([]float64(nil), an.Slices[pt.SliceIndex].BBV...)
+		bbv.NormalizeL1(v)
+		centroids[i] = proj.Project(v)
+	}
+	assign := make([]int, len(an.Slices))
+	for i, s := range an.Slices {
+		v := append([]float64(nil), s.BBV...)
+		bbv.NormalizeL1(v)
+		p := proj.Project(v)
+		best, bestD := 0, math.MaxFloat64
+		for c, cent := range centroids {
+			if d := bbv.SqDist(p, cent); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		assign[i] = best
+	}
+
+	// Timeline: compress slices into width buckets, majority cluster wins.
+	const alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghij"
+	if *width > len(an.Slices) {
+		*width = len(an.Slices)
+	}
+	line := make([]byte, *width)
+	for b := 0; b < *width; b++ {
+		lo := b * len(an.Slices) / *width
+		hi := (b + 1) * len(an.Slices) / *width
+		counts := map[int]int{}
+		for i := lo; i < hi; i++ {
+			counts[assign[i]]++
+		}
+		bestC, bestN := 0, -1
+		for c, n := range counts {
+			if n > bestN {
+				bestC, bestN = c, n
+			}
+		}
+		line[b] = alphabet[bestC%len(alphabet)]
+	}
+
+	fmt.Printf("%s at scale %s: %d slices, %d simulation points\n\n",
+		spec.Name, scale.Name, len(an.Slices), an.Result.NumPoints())
+	fmt.Printf("timeline (execution left to right, letter = phase):\n%s\n\n", line)
+
+	// Per-point stats: weight + CPI of the representative region.
+	cfg := timing.ScaledConfig(timing.TableIIIConfig(), scale.CacheDivs)
+	t := textplot.NewTable("Phase", "Weight", "Slice", "CPI", "Share")
+	for i, pt := range an.Result.Points {
+		pb := pinball.NewRegional(an.Prog.Name, scale.Name, i, pt.Start, pt.Len, pt.Weight)
+		coreModel, err := timing.NewCore(cfg)
+		if err != nil {
+			return err
+		}
+		if _, err := pinball.Replay(an.Prog, pb, coreModel); err != nil {
+			return err
+		}
+		t.AddRow(string(alphabet[i%len(alphabet)]),
+			fmt.Sprintf("%.4f", pt.Weight),
+			fmt.Sprint(pt.SliceIndex),
+			fmt.Sprintf("%.3f", coreModel.CPI()),
+			textplot.Bar(pt.Weight, 1, 30))
+	}
+	fmt.Print(t.String())
+	return nil
+}

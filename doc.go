@@ -1,0 +1,12 @@
+// Package specsampling reproduces "Efficacy of Statistical Sampling on
+// Contemporary Workloads: The Case of SPEC CPU2017" (Singh & Awasthi,
+// IISWC 2019) as a pure-Go system: a synthetic SPEC CPU2017 workload suite,
+// a Pin-like instrumentation framework, PinPlay-style pinball checkpoints,
+// the SimPoint phase-analysis pipeline, an allcache-style cache simulator,
+// a Sniper-style timing model and a native-hardware/perf model.
+//
+// The root package holds the benchmark harness (bench_test.go): one
+// testing.B benchmark per table and figure of the paper's evaluation. The
+// implementation lives under internal/ (see DESIGN.md for the system
+// inventory) and the runnable entry points under cmd/ and examples/.
+package specsampling

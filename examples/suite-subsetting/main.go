@@ -1,0 +1,74 @@
+// Suite subsetting: the related-work methodology the paper discusses in
+// Section V-A (Limaye & Adegbija; Panda et al.) on top of this
+// reproduction's substrate.
+//
+// Every benchmark of the synthetic SPEC CPU2017 suite is characterised by a
+// whole-run feature vector (instruction mix, cache miss rates, branch MPKI,
+// CPI), features are z-score normalised, and k-means with BIC model
+// selection groups behaviourally similar benchmarks. Simulating one
+// representative per group covers the suite's behaviour at a fraction of
+// the cost — statistical sampling *across* benchmarks, complementing
+// SimPoint's sampling *within* them.
+//
+//	go run ./examples/suite-subsetting
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"specsampling/internal/subset"
+	"specsampling/internal/textplot"
+	"specsampling/internal/workload"
+)
+
+func main() {
+	scale := workload.ScaleFromEnv(workload.ScaleSmall)
+	suite := workload.Suite()
+
+	fmt.Printf("characterizing %d benchmarks at scale %s...\n", len(suite), scale.Name)
+	features, err := subset.CharacterizeSuite(suite, scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := textplot.NewTable("Benchmark", "NO_MEM", "L1D miss", "L3 miss", "MPKI", "CPI")
+	for _, f := range features {
+		t.AddRow(f.Benchmark,
+			fmt.Sprintf("%.1f%%", f.Mix[0]*100),
+			fmt.Sprintf("%.1f%%", f.L1DMiss*100),
+			fmt.Sprintf("%.1f%%", f.L3Miss*100),
+			fmt.Sprintf("%.2f", f.BranchMPKI),
+			fmt.Sprintf("%.2f", f.CPI))
+	}
+	fmt.Print(t.String())
+
+	// Auto (BIC) resolves the coarse memory-bound/compute-bound split;
+	// a fixed count of 10 mirrors the related work's subset sizes.
+	auto, err := subset.Subset(features, 12, 2017)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nBIC-selected grouping: %d groups — %v\n",
+		len(auto.Groups), auto.Representatives())
+
+	res, err := subset.SubsetK(features, 10, 2017)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%d behavioural groups (coverage: simulate %.0f%% of the suite):\n\n",
+		len(res.Groups), res.Coverage*100)
+	g := textplot.NewTable("Representative", "Also covers")
+	for _, grp := range res.Groups {
+		others := []string{}
+		for _, m := range grp.Members {
+			if m != grp.Representative {
+				others = append(others, m)
+			}
+		}
+		g.AddRow(grp.Representative, strings.Join(others, ", "))
+	}
+	fmt.Print(g.String())
+}

@@ -1,0 +1,3 @@
+module specsampling
+
+go 1.22

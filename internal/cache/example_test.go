@@ -1,0 +1,28 @@
+package cache_test
+
+import (
+	"fmt"
+
+	"specsampling/internal/cache"
+)
+
+func ExampleNewHierarchy() {
+	h, err := cache.NewHierarchy(cache.TableIConfig())
+	if err != nil {
+		panic(err)
+	}
+	h.Data(0x1000) // cold miss everywhere
+	h.Data(0x1008) // same 32-byte line: L1 hit
+	l1d, _, _ := h.MissRates()
+	fmt.Printf("L1D miss rate %.2f\n", l1d)
+	// Output: L1D miss rate 0.50
+}
+
+func ExampleCache_Access() {
+	c, err := cache.New(cache.Config{Name: "L1", SizeBytes: 1024, Ways: 2, LineBytes: 32})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(c.Access(0x40), c.Access(0x40))
+	// Output: false true
+}

@@ -1,0 +1,176 @@
+// Package core is the reproduction's top-level API — the PinPoints flow of
+// the paper (Figure 2) end to end:
+//
+//	benchmark ──(logger)──> whole pinball ──(BBV profile + SimPoint)──>
+//	simulation points ──(checkpointing)──> regional pinballs ──(replay with
+//	Pintools / Sniper)──> weighted statistics
+//
+// An Analysis holds the profiled slices of one benchmark so that the
+// expensive whole-run profiling pass happens once; clustering sweeps
+// (MaxK, slice size, percentile) and replay measurements reuse it.
+package core
+
+import (
+	"fmt"
+
+	"specsampling/internal/cache"
+	"specsampling/internal/pinball"
+	"specsampling/internal/program"
+	"specsampling/internal/simpoint"
+	"specsampling/internal/timing"
+	"specsampling/internal/workload"
+)
+
+// Config parameterises an analysis.
+type Config struct {
+	// Scale selects the workload scale (see workload.Scale).
+	Scale workload.Scale
+	// SliceLen overrides the scale's slice length when non-zero.
+	SliceLen uint64
+	// MaxK is the cluster ceiling (the paper settles on 35).
+	MaxK int
+	// BICThreshold is the SimPoint BIC fraction (default 0.9).
+	BICThreshold float64
+	// Seed drives projection/clustering.
+	Seed uint64
+	// Workers bounds parallel pinball replay; <= 0 uses GOMAXPROCS.
+	Workers int
+}
+
+// DefaultConfig returns the paper's configuration at the given scale:
+// MaxK 35 with the scale's 30 M-equivalent slice length.
+func DefaultConfig(scale workload.Scale) Config {
+	return Config{
+		Scale:        scale,
+		MaxK:         35,
+		BICThreshold: 0.9,
+		Seed:         2017,
+	}
+}
+
+func (c Config) sliceLen() uint64 {
+	if c.SliceLen != 0 {
+		return c.SliceLen
+	}
+	return c.Scale.SliceLen
+}
+
+func (c Config) simpointConfig() simpoint.Config {
+	sp := simpoint.DefaultConfig(c.sliceLen())
+	sp.MaxK = c.MaxK
+	if c.BICThreshold > 0 {
+		sp.BICThreshold = c.BICThreshold
+	}
+	if c.Seed != 0 {
+		sp.Seed = c.Seed
+	}
+	return sp
+}
+
+// Analysis is one benchmark's profiled execution plus its SimPoint result.
+type Analysis struct {
+	// Spec is the benchmark.
+	Spec workload.Spec
+	// Prog is the built program.
+	Prog *program.Program
+	// Config echoes the analysis configuration.
+	Config Config
+	// Slices are the profiled slices (with per-slice checkpoints).
+	Slices []simpoint.Slice
+	// TotalInstrs is the measured whole-run instruction count.
+	TotalInstrs uint64
+	// Result is the SimPoint clustering at the configured MaxK.
+	Result *simpoint.Result
+}
+
+// Analyze builds the benchmark at the configured scale, profiles it, and
+// clusters it. This is the expensive pass; everything downstream reuses it.
+func Analyze(spec workload.Spec, cfg Config) (*Analysis, error) {
+	prog, err := spec.Build(cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeProgram(spec, prog, cfg)
+}
+
+// AnalyzeProgram profiles and clusters an already-built program (callers
+// that sweep slice sizes rebuild programs themselves).
+func AnalyzeProgram(spec workload.Spec, prog *program.Program, cfg Config) (*Analysis, error) {
+	spCfg := cfg.simpointConfig()
+	slices, total, err := simpoint.Profile(prog, spCfg.SliceLen)
+	if err != nil {
+		return nil, fmt.Errorf("core: profile %s: %w", spec.Name, err)
+	}
+	res, err := simpoint.Cluster(prog.Name, slices, total, spCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: cluster %s: %w", spec.Name, err)
+	}
+	return &Analysis{
+		Spec:        spec,
+		Prog:        prog,
+		Config:      cfg,
+		Slices:      slices,
+		TotalInstrs: total,
+		Result:      res,
+	}, nil
+}
+
+// CacheConfig returns the paper's Table I allcache hierarchy scaled to this
+// analysis's workload scale.
+func (a *Analysis) CacheConfig() cache.HierarchyConfig {
+	return cache.ScaledHierarchy(cache.TableIConfig(), a.Config.Scale.CacheDivs)
+}
+
+// TimingConfig returns the paper's Table III Sniper machine scaled to this
+// analysis's workload scale.
+func (a *Analysis) TimingConfig() timing.Config {
+	return timing.ScaledConfig(timing.TableIIIConfig(), a.Config.Scale.CacheDivs)
+}
+
+// Recluster re-runs the clustering step of an existing analysis with a
+// different MaxK (the Figure 3(a) sweep) without re-profiling.
+func (a *Analysis) Recluster(maxK int) (*simpoint.Result, error) {
+	cfg := a.Config
+	cfg.MaxK = maxK
+	return simpoint.Cluster(a.Prog.Name, a.Slices, a.TotalInstrs, cfg.simpointConfig())
+}
+
+// VarianceSweep re-clusters the profiled slices at fixed k values and
+// returns the average within-cluster variance per k (Figure 4).
+func (a *Analysis) VarianceSweep(ks []int) (map[int]float64, error) {
+	return simpoint.VarianceSweep(a.Slices, ks, a.Config.simpointConfig())
+}
+
+// WholePinball returns the whole-execution checkpoint.
+func (a *Analysis) WholePinball() *pinball.Pinball {
+	return pinball.NewWhole(a.Prog, a.Config.Scale.Name)
+}
+
+// Pinballs cuts regional pinballs for the given SimPoint result (either
+// a.Result or a reduced/re-clustered variant). warmupSlices > 0 attaches a
+// warm-up checkpoint that many slices before each region — the paper's
+// cache-warming mitigation. Warm-up never crosses the program start.
+func (a *Analysis) Pinballs(res *simpoint.Result, warmupSlices int) ([]*pinball.Pinball, error) {
+	if res == nil {
+		return nil, fmt.Errorf("core: nil simpoint result")
+	}
+	pbs := make([]*pinball.Pinball, 0, len(res.Points))
+	for i, pt := range res.Points {
+		pb := pinball.NewRegional(a.Prog.Name, a.Config.Scale.Name, i, pt.Start, pt.Len, pt.Weight)
+		if warmupSlices > 0 {
+			j := pt.SliceIndex - warmupSlices
+			if j < 0 {
+				j = 0
+			}
+			if j < pt.SliceIndex {
+				warmStart := a.Slices[j].Start
+				pb.WithWarmup(warmStart, pt.Start.Instrs-warmStart.Instrs)
+			}
+		}
+		if err := pb.Validate(); err != nil {
+			return nil, fmt.Errorf("core: point %d: %w", i, err)
+		}
+		pbs = append(pbs, pb)
+	}
+	return pbs, nil
+}

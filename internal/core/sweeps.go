@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"specsampling/internal/cache"
+	"specsampling/internal/pin"
+	"specsampling/internal/pinball"
+	"specsampling/internal/pintool"
+	"specsampling/internal/simpoint"
+	"specsampling/internal/workload"
+)
+
+// SweepPoint is one configuration of a sensitivity sweep (Figure 3) with
+// its sampled measurements.
+type SweepPoint struct {
+	// Label names the configuration ("MaxK=15", "slice=25M").
+	Label string
+	// NumPoints is the simulation-point count the configuration produced.
+	NumPoints int
+	// Mix and Cache are the sampled measurements to compare against the
+	// whole run.
+	Mix   MixProfile
+	Cache CacheProfile
+}
+
+// SweepMaxK re-clusters the analysis at each MaxK and measures instruction
+// mix and cache miss rates through the resulting simulation points — the
+// paper's Figure 3(a) sensitivity study.
+func (a *Analysis) SweepMaxK(maxKs []int, hier cache.HierarchyConfig) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(maxKs))
+	for _, k := range maxKs {
+		res, err := a.Recluster(k)
+		if err != nil {
+			return nil, fmt.Errorf("core: MaxK=%d: %w", k, err)
+		}
+		pt, err := a.measure(res, fmt.Sprintf("MaxK=%d", k), hier)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// SweepSliceSize re-profiles the benchmark at each slice length and
+// measures mix and miss rates through the resulting simulation points —
+// the paper's Figure 3(b) study. Slice lengths are given in paper-scale
+// instructions (15 M, 25 M, ...) and converted through the analysis scale.
+func SweepSliceSize(spec workload.Spec, cfg Config, paperSizes []uint64, hier cache.HierarchyConfig) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(paperSizes))
+	for _, paper := range paperSizes {
+		sub := cfg
+		sub.SliceLen = cfg.Scale.SliceLenForPaperSize(paper)
+		an, err := Analyze(spec, sub)
+		if err != nil {
+			return nil, fmt.Errorf("core: slice %dM: %w", paper/1_000_000, err)
+		}
+		pt, err := an.measure(an.Result, fmt.Sprintf("slice=%dM", paper/1_000_000), hier)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// measure cuts pinballs for a result and collects mix + cache profiles.
+func (a *Analysis) measure(res *simpoint.Result, label string, hier cache.HierarchyConfig) (SweepPoint, error) {
+	pbs, err := a.Pinballs(res, 0)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	mix, err := a.SampledMix(pbs)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	cp, err := a.SampledCache(pbs, hier)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	return SweepPoint{Label: label, NumPoints: res.NumPoints(), Mix: mix, Cache: cp}, nil
+}
+
+// RunComparison is the Figure 5 measurement: dynamic instruction counts and
+// execution times of Whole, Regional and Reduced Regional runs. Times are
+// serial replay wall-clock (the paper's per-benchmark execution times; it
+// notes pinballs *can* run in parallel, but reports aggregate time).
+type RunComparison struct {
+	WholeInstrs    uint64
+	RegionalInstrs uint64
+	ReducedInstrs  uint64
+
+	WholeTime    time.Duration
+	RegionalTime time.Duration
+	ReducedTime  time.Duration
+
+	NumPoints   int
+	NumPoints90 int
+}
+
+// InstrReduction returns whole/regional and whole/reduced instruction
+// ratios (the paper's ~650x and ~1225x).
+func (rc RunComparison) InstrReduction() (regional, reduced float64) {
+	if rc.RegionalInstrs > 0 {
+		regional = float64(rc.WholeInstrs) / float64(rc.RegionalInstrs)
+	}
+	if rc.ReducedInstrs > 0 {
+		reduced = float64(rc.WholeInstrs) / float64(rc.ReducedInstrs)
+	}
+	return regional, reduced
+}
+
+// TimeReduction returns whole/regional and whole/reduced time ratios (the
+// paper's ~750x and ~1297x).
+func (rc RunComparison) TimeReduction() (regional, reduced float64) {
+	if rc.RegionalTime > 0 {
+		regional = float64(rc.WholeTime) / float64(rc.RegionalTime)
+	}
+	if rc.ReducedTime > 0 {
+		reduced = float64(rc.WholeTime) / float64(rc.ReducedTime)
+	}
+	return regional, reduced
+}
+
+// CompareRuns executes whole, regional and reduced-regional runs with the
+// inscount Pintool and measures instructions and serial wall-clock time.
+func (a *Analysis) CompareRuns(percentile float64) (RunComparison, error) {
+	var rc RunComparison
+	rc.NumPoints = a.Result.NumPoints()
+
+	reduced, err := a.Result.Reduce(percentile)
+	if err != nil {
+		return rc, err
+	}
+	rc.NumPoints90 = reduced.NumPoints()
+
+	// Whole run.
+	start := time.Now()
+	engine := pin.NewEngine(a.Prog)
+	ic := pintool.NewInsCount()
+	if err := engine.Attach(ic); err != nil {
+		return rc, err
+	}
+	rc.WholeInstrs = engine.RunToEnd()
+	rc.WholeTime = time.Since(start)
+
+	replaySerial := func(res *simpoint.Result) (uint64, time.Duration, error) {
+		pbs, err := a.Pinballs(res, 0)
+		if err != nil {
+			return 0, 0, err
+		}
+		var instrs uint64
+		begin := time.Now()
+		for _, pb := range pbs {
+			n, err := pinball.Replay(a.Prog, pb, pintool.NewInsCount())
+			if err != nil {
+				return 0, 0, err
+			}
+			instrs += n
+		}
+		return instrs, time.Since(begin), nil
+	}
+
+	if rc.RegionalInstrs, rc.RegionalTime, err = replaySerial(a.Result); err != nil {
+		return rc, err
+	}
+	if rc.ReducedInstrs, rc.ReducedTime, err = replaySerial(reduced); err != nil {
+		return rc, err
+	}
+	return rc, nil
+}
+
+// PercentilePoint is one entry of the Figure 9 sweep.
+type PercentilePoint struct {
+	// Percentile is the cumulative-weight cutoff (1.0 = Regional Run,
+	// 0.9 = Reduced Regional Run, ...).
+	Percentile float64
+	// NumPoints is the surviving simulation-point count.
+	NumPoints int
+	// Mix and Cache are the sampled measurements.
+	Mix   MixProfile
+	Cache CacheProfile
+	// ReplayTime is the serial replay wall-clock.
+	ReplayTime time.Duration
+}
+
+// PercentileSweep reduces the analysis result at each percentile and
+// measures mix, miss rates and replay time — the paper's Figure 9
+// accuracy-vs-runtime trade-off.
+func (a *Analysis) PercentileSweep(percentiles []float64, hier cache.HierarchyConfig) ([]PercentilePoint, error) {
+	out := make([]PercentilePoint, 0, len(percentiles))
+	for _, pct := range percentiles {
+		res, err := a.Result.Reduce(pct)
+		if err != nil {
+			return nil, err
+		}
+		pbs, err := a.Pinballs(res, 0)
+		if err != nil {
+			return nil, err
+		}
+		begin := time.Now()
+		mix, err := a.SampledMix(pbs)
+		if err != nil {
+			return nil, err
+		}
+		cp, err := a.SampledCache(pbs, hier)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PercentilePoint{
+			Percentile: pct,
+			NumPoints:  res.NumPoints(),
+			Mix:        mix,
+			Cache:      cp,
+			ReplayTime: time.Since(begin),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,213 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each experiment has a typed result (so tests and benchmarks
+// can assert the paper's shape) and a text rendition (so cmd/experiments
+// prints the same rows the paper reports). A Runner caches the expensive
+// per-benchmark analyses so the figures that share them (5-10, 12) pay the
+// profiling cost once.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"specsampling/internal/cache"
+	"specsampling/internal/core"
+	"specsampling/internal/timing"
+	"specsampling/internal/workload"
+)
+
+// Options configures a Runner.
+type Options struct {
+	// Scale selects the workload scale; the zero value means ScaleMedium.
+	Scale workload.Scale
+	// Benchmarks restricts the suite (full names); empty means all 29.
+	Benchmarks []string
+	// Workers bounds parallel replay per analysis.
+	Workers int
+	// Out receives the text renditions; nil discards them.
+	Out io.Writer
+}
+
+// Runner executes experiments with shared, cached analyses.
+type Runner struct {
+	opts  Options
+	specs []workload.Spec
+
+	mu       sync.Mutex
+	analyses map[string]*core.Analysis
+	wholeC   map[string]core.CacheProfile
+	wholeM   map[string]core.MixProfile
+	fig8     *Fig8Result
+}
+
+// New builds a runner. Unknown benchmark names are reported immediately.
+func New(opts Options) (*Runner, error) {
+	if opts.Scale.Name == "" {
+		opts.Scale = workload.ScaleMedium
+	}
+	var specs []workload.Spec
+	if len(opts.Benchmarks) == 0 {
+		specs = workload.Suite()
+	} else {
+		for _, name := range opts.Benchmarks {
+			s, err := workload.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, s)
+		}
+	}
+	return &Runner{
+		opts:     opts,
+		specs:    specs,
+		analyses: map[string]*core.Analysis{},
+		wholeC:   map[string]core.CacheProfile{},
+		wholeM:   map[string]core.MixProfile{},
+	}, nil
+}
+
+// Scale returns the runner's workload scale.
+func (r *Runner) Scale() workload.Scale { return r.opts.Scale }
+
+// Benchmarks returns the selected benchmark specs.
+func (r *Runner) Benchmarks() []workload.Spec { return r.specs }
+
+// CacheConfig is the scaled Table I hierarchy used by all cache
+// experiments.
+func (r *Runner) CacheConfig() cache.HierarchyConfig {
+	return cache.ScaledHierarchy(cache.TableIConfig(), r.opts.Scale.CacheDivs)
+}
+
+// TimingConfig is the scaled Table III machine used by the CPI experiments.
+func (r *Runner) TimingConfig() timing.Config {
+	return timing.ScaledConfig(timing.TableIIIConfig(), r.opts.Scale.CacheDivs)
+}
+
+// analysis returns (and caches) the benchmark's SimPoint analysis.
+func (r *Runner) analysis(spec workload.Spec) (*core.Analysis, error) {
+	r.mu.Lock()
+	an, ok := r.analyses[spec.Name]
+	r.mu.Unlock()
+	if ok {
+		return an, nil
+	}
+	cfg := core.DefaultConfig(r.opts.Scale)
+	cfg.Workers = r.opts.Workers
+	an, err := core.Analyze(spec, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: analyze %s: %w", spec.Name, err)
+	}
+	r.mu.Lock()
+	r.analyses[spec.Name] = an
+	r.mu.Unlock()
+	return an, nil
+}
+
+// wholeCache returns (and caches) the benchmark's whole-run cache profile.
+func (r *Runner) wholeCache(an *core.Analysis) (core.CacheProfile, error) {
+	r.mu.Lock()
+	cp, ok := r.wholeC[an.Spec.Name]
+	r.mu.Unlock()
+	if ok {
+		return cp, nil
+	}
+	cp, err := an.WholeCache(r.CacheConfig())
+	if err != nil {
+		return core.CacheProfile{}, err
+	}
+	r.mu.Lock()
+	r.wholeC[an.Spec.Name] = cp
+	r.mu.Unlock()
+	return cp, nil
+}
+
+// wholeMix returns (and caches) the benchmark's whole-run instruction mix.
+func (r *Runner) wholeMix(an *core.Analysis) core.MixProfile {
+	r.mu.Lock()
+	mp, ok := r.wholeM[an.Spec.Name]
+	r.mu.Unlock()
+	if ok {
+		return mp
+	}
+	mp = an.WholeMix()
+	r.mu.Lock()
+	r.wholeM[an.Spec.Name] = mp
+	r.mu.Unlock()
+	return mp
+}
+
+// printf writes to the configured output.
+func (r *Runner) printf(format string, args ...interface{}) {
+	if r.opts.Out == nil {
+		return
+	}
+	fmt.Fprintf(r.opts.Out, format, args...)
+}
+
+// IDs enumerates the experiment identifiers Run accepts, in paper order.
+func IDs() []string {
+	return []string{
+		"tableI", "tableII", "tableIII",
+		"fig3a", "fig3b", "fig4", "fig5", "fig6",
+		"fig7", "fig8", "fig9", "fig10", "fig12",
+	}
+}
+
+// Run executes one experiment by id ("all" runs every one in paper order).
+func (r *Runner) Run(id string) error {
+	run := func(id string) error {
+		switch id {
+		case "tableI":
+			r.TableI()
+			return nil
+		case "tableII":
+			_, err := r.TableII()
+			return err
+		case "tableIII":
+			r.TableIII()
+			return nil
+		case "fig3a":
+			_, err := r.Fig3a("623.xalancbmk_s", nil)
+			return err
+		case "fig3b":
+			_, err := r.Fig3b("623.xalancbmk_s", nil)
+			return err
+		case "fig4":
+			_, err := r.Fig4(nil)
+			return err
+		case "fig5":
+			_, err := r.Fig5()
+			return err
+		case "fig6":
+			_, err := r.Fig6()
+			return err
+		case "fig7":
+			_, err := r.Fig7()
+			return err
+		case "fig8":
+			_, err := r.Fig8()
+			return err
+		case "fig9":
+			_, err := r.Fig9(nil)
+			return err
+		case "fig10":
+			_, err := r.Fig10()
+			return err
+		case "fig12":
+			_, err := r.Fig12()
+			return err
+		default:
+			return fmt.Errorf("experiments: unknown experiment %q (want one of %v or all)", id, IDs())
+		}
+	}
+	if id == "all" {
+		for _, each := range IDs() {
+			if err := run(each); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return run(id)
+}

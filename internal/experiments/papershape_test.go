@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"io"
+	"math"
+	"testing"
+
+	"specsampling/internal/workload"
+)
+
+// TestPaperShapesMedium is the reproduction's acceptance test: at medium
+// scale over a 8-benchmark cross-section, the headline shapes of the
+// paper's evaluation must hold with meaningful margins. It is the slowest
+// test in the repository (~1 min) and is skipped in -short mode.
+func TestPaperShapesMedium(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-scale acceptance test skipped in -short mode")
+	}
+	r, err := New(Options{
+		Scale: workload.ScaleMedium,
+		Benchmarks: []string{
+			"520.omnetpp_r", "505.mcf_r", "541.leela_r", "557.xz_r",
+			"631.deepsjeng_s", "503.bwaves_r", "519.lbm_r", "511.povray_r",
+		},
+		Out: io.Discard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Table II: average point counts in the paper's neighbourhood.
+	t2, err := r.TableII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(t2.AvgPoints-t2.PaperAvgPoints) > 6 {
+		t.Errorf("avg points %v vs paper %v", t2.AvgPoints, t2.PaperAvgPoints)
+	}
+	if math.Abs(t2.AvgPoints90-t2.PaperAvgPoints90) > 5 {
+		t.Errorf("avg 90pct points %v vs paper %v", t2.AvgPoints90, t2.PaperAvgPoints90)
+	}
+
+	// Figure 5: large reductions, Reduced beyond Regional by roughly the
+	// paper's 1.7x.
+	f5, err := r.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f5.SuiteInstrReductionRegional < 100 {
+		t.Errorf("regional instruction reduction only %vx at medium scale",
+			f5.SuiteInstrReductionRegional)
+	}
+	ratio := f5.SuiteInstrReductionReduced / f5.SuiteInstrReductionRegional
+	if ratio < 1.2 || ratio > 2.6 {
+		t.Errorf("reduced/regional reduction ratio %v, paper ~1.74", ratio)
+	}
+
+	// Figure 7: sub-1% mix errors, Reduced worse than Regional.
+	f7, err := r.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f7.AvgAbsErrRegional > 1 {
+		t.Errorf("regional mix error %v pp, paper <1%%", f7.AvgAbsErrRegional)
+	}
+	if f7.AvgAbsErrReduced > 1 {
+		t.Errorf("reduced mix error %v pp, paper <1%%", f7.AvgAbsErrReduced)
+	}
+	if f7.AvgAbsErrReduced < f7.AvgAbsErrRegional {
+		t.Error("reduced runs should not beat regional runs on mix accuracy")
+	}
+
+	// Figure 8: error gradient L1D < L2 <= L3 and warm-up collapse.
+	f8, err := r.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(f8.RegionalDiff[0] < f8.RegionalDiff[1] && f8.RegionalDiff[1] <= f8.RegionalDiff[2]+5) {
+		t.Errorf("error gradient broken: L1D %+.2f, L2 %+.2f, L3 %+.2f pp",
+			f8.RegionalDiff[0], f8.RegionalDiff[1], f8.RegionalDiff[2])
+	}
+	if f8.WarmupDiff[2] > f8.RegionalDiff[2]/1.5 {
+		t.Errorf("warm-up did not collapse L3 error: %+.2f -> %+.2f pp",
+			f8.RegionalDiff[2], f8.WarmupDiff[2])
+	}
+
+	// Figure 12: CPI error in single digits with high correlation.
+	f12, err := r.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f12.AvgCPIErrRegionalPct > 9 {
+		t.Errorf("regional CPI error %v%%, paper 2.59%%", f12.AvgCPIErrRegionalPct)
+	}
+	if f12.Correlation < 0.95 {
+		t.Errorf("CPI correlation %v", f12.Correlation)
+	}
+}

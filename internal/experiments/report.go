@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Report accumulates the structured results of the experiments a Runner has
+// executed, for machine-readable export (cmd/experiments -json). Keys are
+// the experiment ids of IDs().
+type Report struct {
+	mu      sync.Mutex
+	results map[string]interface{}
+}
+
+// NewReport returns an empty report.
+func NewReport() *Report {
+	return &Report{results: map[string]interface{}{}}
+}
+
+// Record stores one experiment's result under its id, replacing any
+// previous entry.
+func (r *Report) Record(id string, result interface{}) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.results[id] = result
+}
+
+// Len returns the number of recorded experiments.
+func (r *Report) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.results)
+}
+
+// WriteJSON emits the recorded results as indented JSON, keyed by
+// experiment id, with a metadata envelope.
+func (r *Report) WriteJSON(w io.Writer, scale string, benchmarks []string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	envelope := struct {
+		Paper      string                 `json:"paper"`
+		Scale      string                 `json:"scale"`
+		Benchmarks []string               `json:"benchmarks"`
+		Results    map[string]interface{} `json:"results"`
+	}{
+		Paper:      "Efficacy of Statistical Sampling on Contemporary Workloads: The Case of SPEC CPU2017 (IISWC 2019)",
+		Scale:      scale,
+		Benchmarks: benchmarks,
+		Results:    r.results,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(envelope); err != nil {
+		return fmt.Errorf("experiments: encode report: %w", err)
+	}
+	return nil
+}
+
+// RunRecorded executes one experiment (or "all") like Run, additionally
+// recording each structured result into the report.
+func (r *Runner) RunRecorded(id string, report *Report) error {
+	run := func(id string) error {
+		switch id {
+		case "tableI", "tableIII":
+			return r.Run(id)
+		case "tableII":
+			res, err := r.TableII()
+			if err == nil {
+				report.Record(id, res)
+			}
+			return err
+		case "fig3a":
+			res, err := r.Fig3a("623.xalancbmk_s", nil)
+			if err == nil {
+				report.Record(id, res)
+			}
+			return err
+		case "fig3b":
+			res, err := r.Fig3b("623.xalancbmk_s", nil)
+			if err == nil {
+				report.Record(id, res)
+			}
+			return err
+		case "fig4":
+			res, err := r.Fig4(nil)
+			if err == nil {
+				report.Record(id, res)
+			}
+			return err
+		case "fig5":
+			res, err := r.Fig5()
+			if err == nil {
+				report.Record(id, res)
+			}
+			return err
+		case "fig6":
+			res, err := r.Fig6()
+			if err == nil {
+				report.Record(id, res)
+			}
+			return err
+		case "fig7":
+			res, err := r.Fig7()
+			if err == nil {
+				report.Record(id, res)
+			}
+			return err
+		case "fig8":
+			res, err := r.Fig8()
+			if err == nil {
+				report.Record(id, res)
+			}
+			return err
+		case "fig9":
+			res, err := r.Fig9(nil)
+			if err == nil {
+				report.Record(id, res)
+			}
+			return err
+		case "fig10":
+			res, err := r.Fig10()
+			if err == nil {
+				report.Record(id, res)
+			}
+			return err
+		case "fig12":
+			res, err := r.Fig12()
+			if err == nil {
+				report.Record(id, res)
+			}
+			return err
+		default:
+			return fmt.Errorf("experiments: unknown experiment %q (want one of %v or all)", id, IDs())
+		}
+	}
+	if id == "all" {
+		for _, each := range IDs() {
+			if err := run(each); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return run(id)
+}

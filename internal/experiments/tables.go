@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"specsampling/internal/cache"
+	"specsampling/internal/textplot"
+	"specsampling/internal/timing"
+)
+
+// TableI prints the paper's Table I (allcache configuration) together with
+// the scaled configuration actually simulated at this runner's scale.
+func (r *Runner) TableI() {
+	paper := cache.TableIConfig()
+	scaled := r.CacheConfig()
+	t := textplot.NewTable("Level", "Paper (Table I)", "Scaled ("+r.opts.Scale.Name+")")
+	row := func(name string, p, s cache.Config) {
+		t.AddRow(name, describeCache(p), describeCache(s))
+	}
+	row("L1i", paper.L1I, scaled.L1I)
+	row("L1d", paper.L1D, scaled.L1D)
+	row("L2", paper.L2, scaled.L2)
+	row("L3", paper.L3, scaled.L3)
+	r.printf("\n== Table I: allcache simulator configuration ==\n%s", t.String())
+}
+
+func describeCache(c cache.Config) string {
+	assoc := "direct-mapped"
+	if c.Ways > 1 {
+		assoc = itoa(c.Ways) + "-way"
+	}
+	return byteSize(c.SizeBytes) + " " + assoc + ", " + byteSize(c.LineBytes) + " linesize"
+}
+
+// TableIIRow is one benchmark's simulation-point counts — measured by this
+// reproduction and as reported in the paper.
+type TableIIRow struct {
+	Benchmark string
+	// Points and Points90 are measured by running the pipeline.
+	Points   int
+	Points90 int
+	// PaperPoints and PaperPoints90 are the paper's Table II values.
+	PaperPoints   int
+	PaperPoints90 int
+}
+
+// TableIIResult is the measured Table II with its averages.
+type TableIIResult struct {
+	Rows []TableIIRow
+	// AvgPoints / AvgPoints90 are the measured averages (paper: 19.75 and
+	// 11.31).
+	AvgPoints   float64
+	AvgPoints90 float64
+	// PaperAvgPoints / PaperAvgPoints90 average the paper columns over the
+	// selected benchmarks.
+	PaperAvgPoints   float64
+	PaperAvgPoints90 float64
+}
+
+// TableII runs the SimPoint pipeline for every selected benchmark and
+// tabulates the number of simulation points and 90th-percentile simulation
+// points (the paper's Table II).
+func (r *Runner) TableII() (*TableIIResult, error) {
+	res := &TableIIResult{}
+	for _, spec := range r.specs {
+		an, err := r.analysis(spec)
+		if err != nil {
+			return nil, err
+		}
+		reduced, err := an.Result.Reduce(0.9)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, TableIIRow{
+			Benchmark:     spec.Name,
+			Points:        an.Result.NumPoints(),
+			Points90:      reduced.NumPoints(),
+			PaperPoints:   spec.Phases,
+			PaperPoints90: spec.Phases90,
+		})
+	}
+	for _, row := range res.Rows {
+		res.AvgPoints += float64(row.Points)
+		res.AvgPoints90 += float64(row.Points90)
+		res.PaperAvgPoints += float64(row.PaperPoints)
+		res.PaperAvgPoints90 += float64(row.PaperPoints90)
+	}
+	n := float64(len(res.Rows))
+	res.AvgPoints /= n
+	res.AvgPoints90 /= n
+	res.PaperAvgPoints /= n
+	res.PaperAvgPoints90 /= n
+
+	t := textplot.NewTable("Benchmark", "SimPoints", "90pct SimPoints", "paper", "paper 90pct")
+	for _, row := range res.Rows {
+		t.AddRowf(row.Benchmark, row.Points, row.Points90, row.PaperPoints, row.PaperPoints90)
+	}
+	t.AddRowf("Average", res.AvgPoints, res.AvgPoints90, res.PaperAvgPoints, res.PaperAvgPoints90)
+	r.printf("\n== Table II: SPEC CPU2017 simulation points ==\n%s", t.String())
+	return res, nil
+}
+
+// TableIII prints the paper's Table III (Sniper system configuration) and
+// the scaled machine used at this runner's scale.
+func (r *Runner) TableIII() {
+	paper := timing.TableIIIConfig()
+	scaled := r.TimingConfig()
+	t := textplot.NewTable("Parameter", "Paper (Table III)", "Scaled ("+r.opts.Scale.Name+")")
+	t.AddRow("Model", "8-core Intel i7-3770", "1 core modelled")
+	t.AddRowf("CPU Frequency", fmt.Sprintf("%.1f GHz", paper.FrequencyGHz), fmt.Sprintf("%.1f GHz", scaled.FrequencyGHz))
+	t.AddRowf("Dispatch width", paper.DispatchWidth, scaled.DispatchWidth)
+	t.AddRowf("Reorder buffer", paper.ROBEntries, scaled.ROBEntries)
+	t.AddRowf("Branch miss penalty", paper.BranchMissPenalty, scaled.BranchMissPenalty)
+	t.AddRow("L1-I cache", describeCache(paper.Caches.L1I), describeCache(scaled.Caches.L1I))
+	t.AddRow("L1-D cache", describeCache(paper.Caches.L1D), describeCache(scaled.Caches.L1D))
+	t.AddRow("L2 cache", describeCache(paper.Caches.L2), describeCache(scaled.Caches.L2))
+	t.AddRow("L3 cache", describeCache(paper.Caches.L3), describeCache(scaled.Caches.L3))
+	t.AddRowf("L2/L3/Mem latency", fmtLat(paper), fmtLat(scaled))
+	r.printf("\n== Table III: system configuration ==\n%s", t.String())
+}
+
+func fmtLat(c timing.Config) string {
+	return itoa(int(c.L2Latency)) + "/" + itoa(int(c.L3Latency)) + "/" + itoa(int(c.MemLatency)) + " cycles"
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }
+
+func byteSize(b uint64) string {
+	switch {
+	case b >= 1<<20 && b%(1<<20) == 0:
+		return itoa(int(b>>20)) + "MB"
+	case b >= 1<<10 && b%(1<<10) == 0:
+		return itoa(int(b>>10)) + "kB"
+	default:
+		return itoa(int(b)) + "B"
+	}
+}

@@ -1,0 +1,362 @@
+// Package kmeans implements the clustering machinery SimPoint 3.0 uses to
+// group execution slices: Lloyd's algorithm with k-means++ seeding,
+// multiple restarts, and Bayesian Information Criterion (BIC) model
+// selection over k (Pelleg & Moore's x-means BIC, as adopted by SimPoint).
+package kmeans
+
+import (
+	"fmt"
+	"math"
+
+	"specsampling/internal/bbv"
+	"specsampling/internal/rng"
+)
+
+// Config controls a clustering run.
+type Config struct {
+	// Restarts is the number of independent k-means++ initialisations; the
+	// best (lowest within-cluster sum of squares) run wins.
+	Restarts int
+	// MaxIter bounds Lloyd iterations per restart.
+	MaxIter int
+	// Seed makes the run deterministic.
+	Seed uint64
+	// SampleSize, when > 0 and smaller than the point count, clusters on a
+	// deterministic subsample and then assigns all points to the resulting
+	// centroids. SimPoint supports the same optimisation for very long
+	// programs (tens of thousands of slices).
+	SampleSize int
+}
+
+// DefaultConfig returns the configuration used throughout the reproduction.
+func DefaultConfig(seed uint64) Config {
+	return Config{Restarts: 3, MaxIter: 40, Seed: seed, SampleSize: 4096}
+}
+
+// Result is a clustering of a point set.
+type Result struct {
+	// K is the number of clusters actually used (clusters may come out
+	// empty and are dropped, so K can be below the requested k).
+	K int
+	// Assign maps each point index to its cluster in [0, K).
+	Assign []int
+	// Centroids are the cluster centres.
+	Centroids [][]float64
+	// Sizes counts points per cluster.
+	Sizes []int
+	// WCSS is the total within-cluster sum of squared distances.
+	WCSS float64
+}
+
+// Run clusters points into at most k groups. Points must be non-empty and
+// share a dimensionality. k is clamped to the point count.
+func Run(points [][]float64, k int, cfg Config) (*Result, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("kmeans: no points")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("kmeans: k = %d", k)
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("kmeans: point %d has dim %d, want %d", i, len(p), dim)
+		}
+	}
+	if k > len(points) {
+		k = len(points)
+	}
+	if cfg.Restarts <= 0 {
+		cfg.Restarts = 1
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 40
+	}
+
+	train := points
+	var sampleIdx []int
+	if cfg.SampleSize > 0 && cfg.SampleSize < len(points) {
+		sampleIdx = sampleIndices(len(points), cfg.SampleSize, cfg.Seed)
+		train = make([][]float64, len(sampleIdx))
+		for i, idx := range sampleIdx {
+			train[i] = points[idx]
+		}
+		if k > len(train) {
+			k = len(train)
+		}
+	}
+
+	r := rng.New(cfg.Seed ^ 0x6b6d)
+	var best *Result
+	for restart := 0; restart < cfg.Restarts; restart++ {
+		res := lloyd(train, k, cfg.MaxIter, &r)
+		if best == nil || res.WCSS < best.WCSS {
+			best = res
+		}
+	}
+
+	if sampleIdx != nil {
+		// Re-assign the full point set to the trained centroids.
+		best = assignAll(points, best.Centroids)
+	}
+	return best, nil
+}
+
+// sampleIndices picks n distinct indices from [0, total) deterministically,
+// evenly spread with a hashed offset so the sample covers the whole
+// execution rather than a prefix.
+func sampleIndices(total, n int, seed uint64) []int {
+	idx := make([]int, n)
+	step := float64(total) / float64(n)
+	r := rng.New(seed ^ 0x5a3)
+	off := r.Float64() * step
+	for i := range idx {
+		v := int(off + float64(i)*step)
+		if v >= total {
+			v = total - 1
+		}
+		idx[i] = v
+	}
+	return idx
+}
+
+// lloyd runs one k-means++ initialisation followed by Lloyd iterations.
+func lloyd(points [][]float64, k int, maxIter int, r *rng.RNG) *Result {
+	centroids := seedPlusPlus(points, k, r)
+	assign := make([]int, len(points))
+	for i := range assign {
+		assign[i] = -1
+	}
+	sizes := make([]int, len(centroids))
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i := range sizes {
+			sizes[i] = 0
+		}
+		for i, p := range points {
+			bestC, bestD := 0, math.MaxFloat64
+			for c, cent := range centroids {
+				d := bbv.SqDist(p, cent)
+				if d < bestD {
+					bestC, bestD = c, d
+				}
+			}
+			if assign[i] != bestC {
+				assign[i] = bestC
+				changed = true
+			}
+			sizes[bestC]++
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids.
+		for c := range centroids {
+			for j := range centroids[c] {
+				centroids[c][j] = 0
+			}
+		}
+		for i, p := range points {
+			cent := centroids[assign[i]]
+			for j, x := range p {
+				cent[j] += x
+			}
+		}
+		for c := range centroids {
+			if sizes[c] == 0 {
+				// Re-seed an empty cluster at the point farthest from its
+				// centroid, the standard fix for dead centroids.
+				far, farD := 0, -1.0
+				for i, p := range points {
+					d := bbv.SqDist(p, centroids[assign[i]])
+					if d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(centroids[c], points[far])
+				continue
+			}
+			inv := 1 / float64(sizes[c])
+			for j := range centroids[c] {
+				centroids[c][j] *= inv
+			}
+		}
+	}
+	return assignAll(points, centroids)
+}
+
+// assignAll builds a Result by assigning every point to its nearest
+// centroid, dropping empty clusters.
+func assignAll(points [][]float64, centroids [][]float64) *Result {
+	assign := make([]int, len(points))
+	sizes := make([]int, len(centroids))
+	var wcss float64
+	for i, p := range points {
+		bestC, bestD := 0, math.MaxFloat64
+		for c, cent := range centroids {
+			d := bbv.SqDist(p, cent)
+			if d < bestD {
+				bestC, bestD = c, d
+			}
+		}
+		assign[i] = bestC
+		sizes[bestC]++
+		wcss += bestD
+	}
+	// Compact away empty clusters so K reflects reality.
+	remap := make([]int, len(centroids))
+	var kept [][]float64
+	var keptSizes []int
+	for c := range centroids {
+		if sizes[c] == 0 {
+			remap[c] = -1
+			continue
+		}
+		remap[c] = len(kept)
+		kept = append(kept, centroids[c])
+		keptSizes = append(keptSizes, sizes[c])
+	}
+	for i := range assign {
+		assign[i] = remap[assign[i]]
+	}
+	return &Result{
+		K:         len(kept),
+		Assign:    assign,
+		Centroids: kept,
+		Sizes:     keptSizes,
+		WCSS:      wcss,
+	}
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ D² weighting.
+func seedPlusPlus(points [][]float64, k int, r *rng.RNG) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	first := points[r.Intn(len(points))]
+	centroids = append(centroids, append([]float64(nil), first...))
+
+	d2 := make([]float64, len(points))
+	for i, p := range points {
+		d2[i] = bbv.SqDist(p, centroids[0])
+	}
+	for len(centroids) < k {
+		var total float64
+		for _, d := range d2 {
+			total += d
+		}
+		var idx int
+		if total <= 0 {
+			// All points coincide with existing centroids; any choice works.
+			idx = r.Intn(len(points))
+		} else {
+			target := r.Float64() * total
+			acc := 0.0
+			idx = len(points) - 1
+			for i, d := range d2 {
+				acc += d
+				if acc >= target {
+					idx = i
+					break
+				}
+			}
+		}
+		c := append([]float64(nil), points[idx]...)
+		centroids = append(centroids, c)
+		for i, p := range points {
+			if d := bbv.SqDist(p, c); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centroids
+}
+
+// BIC scores a clustering under the spherical-Gaussian model of Pelleg &
+// Moore (x-means), the criterion SimPoint 3.0 uses to pick k. Larger is
+// better.
+func BIC(points [][]float64, res *Result) float64 {
+	r := float64(len(points))
+	k := float64(res.K)
+	d := float64(len(points[0]))
+	if len(points) <= res.K {
+		return math.Inf(-1)
+	}
+	// Pooled variance estimate.
+	sigma2 := res.WCSS / (r - k)
+	if sigma2 <= 0 {
+		sigma2 = 1e-12
+	}
+	var ll float64
+	for _, size := range res.Sizes {
+		rn := float64(size)
+		if rn == 0 {
+			continue
+		}
+		ll += rn*math.Log(rn) -
+			rn*math.Log(r) -
+			rn*d/2*math.Log(2*math.Pi*sigma2) -
+			(rn-1)/2
+	}
+	params := k*(d+1) + 1
+	return ll - params/2*math.Log(r)
+}
+
+// BestK runs clustering for a range of candidate k values up to maxK and
+// returns the chosen result following SimPoint's rule: compute BIC for each
+// candidate, then pick the smallest k whose BIC reaches at least threshold
+// (e.g. 0.9) of the way from the minimum to the maximum BIC observed.
+// It also returns the per-candidate results and scores keyed by k.
+func BestK(points [][]float64, maxK int, threshold float64, cfg Config) (*Result, map[int]float64, error) {
+	if maxK <= 0 {
+		return nil, nil, fmt.Errorf("kmeans: maxK = %d", maxK)
+	}
+	if threshold <= 0 || threshold > 1 {
+		threshold = 0.9
+	}
+	candidates := candidateKs(maxK)
+	results := make(map[int]*Result, len(candidates))
+	scores := make(map[int]float64, len(candidates))
+	minB, maxB := math.Inf(1), math.Inf(-1)
+	for _, k := range candidates {
+		sub := cfg
+		sub.Seed = cfg.Seed ^ uint64(k)*0x9e37
+		res, err := Run(points, k, sub)
+		if err != nil {
+			return nil, nil, err
+		}
+		b := BIC(points, res)
+		results[k] = res
+		scores[k] = b
+		if b < minB {
+			minB = b
+		}
+		if b > maxB {
+			maxB = b
+		}
+	}
+	span := maxB - minB
+	for _, k := range candidates {
+		if span == 0 || scores[k] >= minB+threshold*span {
+			return results[k], scores, nil
+		}
+	}
+	// Unreachable: the max-scoring k always passes.
+	last := candidates[len(candidates)-1]
+	return results[last], scores, nil
+}
+
+// candidateKs enumerates the k values BestK evaluates: every k up to 10,
+// then steps of 2 (to keep the search cheap for large MaxK, in the spirit
+// of SimPoint's binary search), always including maxK itself.
+func candidateKs(maxK int) []int {
+	var ks []int
+	for k := 1; k <= maxK && k <= 10; k++ {
+		ks = append(ks, k)
+	}
+	for k := 12; k <= maxK; k += 2 {
+		ks = append(ks, k)
+	}
+	if len(ks) == 0 || ks[len(ks)-1] != maxK {
+		ks = append(ks, maxK)
+	}
+	return ks
+}

@@ -1,0 +1,79 @@
+package native
+
+import (
+	"math"
+	"testing"
+
+	"specsampling/internal/timing"
+	"specsampling/internal/workload"
+)
+
+func TestMachineConfigDiffersFromSniper(t *testing.T) {
+	nat := MachineConfig()
+	snp := timing.TableIIIConfig()
+	if nat.Name == snp.Name {
+		t.Error("native machine should be distinguishable")
+	}
+	if nat.DispatchWidth == snp.DispatchWidth && nat.MemLatency == snp.MemLatency &&
+		nat.MLP == snp.MLP && nat.FrontendStall == snp.FrontendStall {
+		t.Error("native machine is identical to the Sniper model; there would be no model error")
+	}
+	// But it is the same machine class: caches and ROB match Table III.
+	if nat.Caches != snp.Caches || nat.ROBEntries != snp.ROBEntries {
+		t.Error("native machine's structure should match Table III")
+	}
+	if err := nat.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerfStatRunsAndIsRepeatable(t *testing.T) {
+	spec, err := workload.ByName("520.omnetpp_r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := spec.Build(workload.ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := PerfStat(p, workload.ScaleSmall.CacheDivs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PerfStat(p, workload.ScaleSmall.CacheDivs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Instructions != b.Instructions {
+		t.Error("same run index must reproduce identical counters")
+	}
+	if a.Instructions == 0 || a.CPI() <= 0 {
+		t.Errorf("degenerate counters: %+v", a)
+	}
+}
+
+func TestPerfStatRunToRunNoise(t *testing.T) {
+	spec, _ := workload.ByName("520.omnetpp_r")
+	p, err := spec.Build(workload.ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := PerfStat(p, workload.ScaleSmall.CacheDivs, 0)
+	b, _ := PerfStat(p, workload.ScaleSmall.CacheDivs, 1)
+	if a.Cycles == b.Cycles {
+		t.Error("different runs should differ slightly (hardware noise)")
+	}
+	if a.Instructions != b.Instructions {
+		t.Error("instruction counts must be exact across runs")
+	}
+	rel := math.Abs(a.Cycles-b.Cycles) / a.Cycles
+	if rel > 2.5*Noise {
+		t.Errorf("noise %v exceeds the declared amplitude %v", rel, Noise)
+	}
+}
+
+func TestHashStringDistinguishes(t *testing.T) {
+	if hashString("505.mcf_r") == hashString("505.mcf_s") {
+		t.Error("hash collision on near-identical names")
+	}
+}

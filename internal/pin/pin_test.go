@@ -1,0 +1,155 @@
+package pin
+
+import (
+	"testing"
+
+	"specsampling/internal/isa"
+	"specsampling/internal/program"
+)
+
+func testProgram(t testing.TB) *program.Program {
+	t.Helper()
+	specs := []program.PhaseSpec{
+		{Blocks: 4, MinBlockLen: 4, MaxBlockLen: 8, Mix: [4]float64{0.5, 0.3, 0.2, 0},
+			Pattern: program.MemPattern{Base: 1 << 20, WorkingSetBytes: 32 << 10, Stride: 8,
+				SeqPermille: 500, StreamPermille: 0},
+			JumpPermille: 50, ShareBlocksWith: -1},
+		{Blocks: 4, MinBlockLen: 4, MaxBlockLen: 8, Mix: [4]float64{0.6, 0.2, 0.2, 0},
+			Pattern: program.MemPattern{Base: 8 << 20, WorkingSetBytes: 64 << 10, Stride: 16,
+				SeqPermille: 300, StreamPermille: 0},
+			JumpPermille: 20, ShareBlocksWith: -1},
+	}
+	p, err := program.BuildProgram("pintest", 42, specs,
+		program.UniformSchedule([]float64{0.6, 0.4}, 20000, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+type countingTool struct {
+	blocks   int
+	mems     int
+	branches int
+	fetches  int
+}
+
+func (*countingTool) Name() string                   { return "counting" }
+func (c *countingTool) OnBlock(*isa.Block, int)      { c.blocks++ }
+func (c *countingTool) OnMem(isa.MemRef)             { c.mems++ }
+func (c *countingTool) OnBranch(isa.BranchEvent)     { c.branches++ }
+func (c *countingTool) OnFetch(pc uint64, by uint64) { c.fetches++ }
+
+type blockOnlyTool struct{ blocks int }
+
+func (*blockOnlyTool) Name() string              { return "blockonly" }
+func (b *blockOnlyTool) OnBlock(*isa.Block, int) { b.blocks++ }
+
+type eventlessTool struct{}
+
+func (eventlessTool) Name() string { return "eventless" }
+
+func TestAttachRejectsEventlessTool(t *testing.T) {
+	e := NewEngine(testProgram(t))
+	if err := e.Attach(eventlessTool{}); err == nil {
+		t.Error("attached a tool with no event interfaces")
+	}
+	if len(e.Tools()) != 0 {
+		t.Error("rejected tool was registered anyway")
+	}
+}
+
+func TestEventsDelivered(t *testing.T) {
+	e := NewEngine(testProgram(t))
+	c := &countingTool{}
+	if err := e.Attach(c); err != nil {
+		t.Fatal(err)
+	}
+	n := e.Run(5000)
+	if n < 5000 {
+		t.Fatalf("ran only %d instructions", n)
+	}
+	if c.blocks == 0 || c.mems == 0 || c.branches == 0 || c.fetches == 0 {
+		t.Errorf("missing events: %+v", c)
+	}
+	// One branch and one fetch per block.
+	if c.branches != c.blocks || c.fetches != c.blocks {
+		t.Errorf("blocks=%d branches=%d fetches=%d; want equal", c.blocks, c.branches, c.fetches)
+	}
+}
+
+func TestMultipleToolsAllReceive(t *testing.T) {
+	e := NewEngine(testProgram(t))
+	a, b := &blockOnlyTool{}, &blockOnlyTool{}
+	if err := e.Attach(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Attach(b); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(3000)
+	if a.blocks == 0 || a.blocks != b.blocks {
+		t.Errorf("tools disagree: %d vs %d", a.blocks, b.blocks)
+	}
+	if len(e.Tools()) != 2 {
+		t.Errorf("Tools() = %d", len(e.Tools()))
+	}
+}
+
+// Instrumentation independence: the executor lands in the same state no
+// matter which tools observe the run.
+func TestToolsDoNotPerturbExecution(t *testing.T) {
+	p := testProgram(t)
+
+	bare := NewEngine(p)
+	bare.Run(8000)
+
+	instrumented := NewEngine(p)
+	if err := instrumented.Attach(&countingTool{}); err != nil {
+		t.Fatal(err)
+	}
+	instrumented.Run(8000)
+
+	if !bare.Executor().State().Equal(instrumented.Executor().State()) {
+		t.Error("instrumentation changed execution state")
+	}
+}
+
+func TestRunToEndAndDone(t *testing.T) {
+	e := NewEngine(testProgram(t))
+	c := &countingTool{}
+	if err := e.Attach(c); err != nil {
+		t.Fatal(err)
+	}
+	n := e.RunToEnd()
+	if !e.Done() {
+		t.Error("not done after RunToEnd")
+	}
+	if n == 0 || e.Executor().Instrs() != n {
+		t.Errorf("executed %d, executor reports %d", n, e.Executor().Instrs())
+	}
+}
+
+func TestNewEngineAtResumesMidProgram(t *testing.T) {
+	p := testProgram(t)
+	first := NewEngine(p)
+	first.Run(6000)
+	snap := first.Executor().State()
+
+	exec := program.NewExecutor(p)
+	if err := exec.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	resumed := NewEngineAt(exec)
+	c := &countingTool{}
+	if err := resumed.Attach(c); err != nil {
+		t.Fatal(err)
+	}
+	resumed.Run(1000)
+	if c.blocks == 0 {
+		t.Error("resumed engine delivered no events")
+	}
+	if resumed.Executor().Instrs() <= snap.Instrs {
+		t.Error("resumed engine did not advance")
+	}
+}

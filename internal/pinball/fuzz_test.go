@@ -1,0 +1,43 @@
+package pinball
+
+import (
+	"bytes"
+	"testing"
+
+	"specsampling/internal/program"
+)
+
+// FuzzRead exercises the pinball decoder against arbitrary byte streams: it
+// must never panic and must round-trip valid pinballs unchanged.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid pinball.
+	st := program.State{Instrs: 123, Seg: 1, SegDone: 7, BlockPos: 2,
+		Phases: []program.PhaseState{{BlockExecs: 5, Accesses: 9}, {BlockExecs: 1, Accesses: 2}}}
+	pb := NewRegional("fuzzbench", "small", 3, st, 4096, 0.25)
+	var buf bytes.Buffer
+	if err := pb.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("PBAL"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Anything accepted must re-serialise successfully.
+		var out bytes.Buffer
+		if err := got.Write(&out); err != nil {
+			t.Fatalf("accepted pinball fails to re-serialise: %v", err)
+		}
+		back, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-serialised pinball rejected: %v", err)
+		}
+		if back.Benchmark != got.Benchmark || back.Len != got.Len || !back.Start.Equal(got.Start) {
+			t.Fatal("round trip changed the pinball")
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package pinball
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"specsampling/internal/pin"
+	"specsampling/internal/program"
+)
+
+// Warmable is implemented by tools whose microarchitectural state can be
+// warmed without counting statistics (cache simulators, timing models). If
+// a pinball carries a warm-up checkpoint, Replay drives Warmable tools
+// through the warm-up region with warm-up mode enabled; tools that are not
+// Warmable do not observe the warm-up at all.
+type Warmable interface {
+	SetWarmup(on bool)
+}
+
+// Replay executes a pinball against its program with the given tools
+// attached and returns the number of measured (non-warm-up) instructions
+// executed. The program must be the same benchmark (same name and phase
+// count) the pinball was captured from.
+func Replay(p *program.Program, pb *Pinball, tools ...pin.Tool) (uint64, error) {
+	if err := pb.Validate(); err != nil {
+		return 0, err
+	}
+	if p.Name != pb.Benchmark {
+		return 0, fmt.Errorf("pinball: replaying %q checkpoint on program %q", pb.Benchmark, p.Name)
+	}
+	exec := program.NewExecutor(p)
+
+	if pb.HasWarmup {
+		if err := exec.Restore(pb.Warmup); err != nil {
+			return 0, fmt.Errorf("pinball: restore warm-up state: %w", err)
+		}
+		warmEngine := pin.NewEngineAt(exec)
+		var warmables []Warmable
+		for _, t := range tools {
+			w, ok := t.(Warmable)
+			if !ok {
+				continue
+			}
+			if err := warmEngine.Attach(t); err != nil {
+				return 0, err
+			}
+			warmables = append(warmables, w)
+		}
+		for _, w := range warmables {
+			w.SetWarmup(true)
+		}
+		warmEngine.Run(pb.WarmupLen)
+		for _, w := range warmables {
+			w.SetWarmup(false)
+		}
+		// The warm-up run stops on a block boundary, which may overshoot
+		// the region start slightly; restore the exact region state so the
+		// measured stream is bit-identical to the captured region.
+		// (Microarchitectural warm-up state persists in the tools.)
+	}
+
+	if err := exec.Restore(pb.Start); err != nil {
+		return 0, fmt.Errorf("pinball: restore start state: %w", err)
+	}
+	engine := pin.NewEngineAt(exec)
+	for _, t := range tools {
+		if err := engine.Attach(t); err != nil {
+			return 0, err
+		}
+	}
+	return engine.Run(pb.Len), nil
+}
+
+// ReplayResult pairs a pinball with what a parallel replay observed.
+type ReplayResult struct {
+	// Pinball is the replayed checkpoint.
+	Pinball *Pinball
+	// Executed is the measured instruction count.
+	Executed uint64
+	// Err is the per-pinball failure, if any.
+	Err error
+}
+
+// ReplayAll replays a set of pinballs in parallel — the paper notes that
+// regional pinballs are independent and "are executed in parallel to save
+// time". makeTools is called once per pinball to produce that replay's
+// private tool set (tools are stateful and must not be shared); it receives
+// the pinball's index in pbs. Results preserve input order. workers <= 0
+// uses GOMAXPROCS.
+func ReplayAll(p *program.Program, pbs []*Pinball, workers int, makeTools func(i int) []pin.Tool) []ReplayResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]ReplayResult, len(pbs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, pb := range pbs {
+		wg.Add(1)
+		go func(i int, pb *Pinball) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			tools := makeTools(i)
+			n, err := Replay(p, pb, tools...)
+			results[i] = ReplayResult{Pinball: pb, Executed: n, Err: err}
+		}(i, pb)
+	}
+	wg.Wait()
+	return results
+}

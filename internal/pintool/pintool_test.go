@@ -1,0 +1,176 @@
+package pintool
+
+import (
+	"math"
+	"testing"
+
+	"specsampling/internal/cache"
+	"specsampling/internal/pin"
+	"specsampling/internal/program"
+)
+
+func testProgram(t testing.TB, total uint64) *program.Program {
+	t.Helper()
+	specs := []program.PhaseSpec{
+		{Blocks: 5, MinBlockLen: 4, MaxBlockLen: 10, Mix: [4]float64{0.5, 0.35, 0.12, 0.03},
+			Pattern: program.MemPattern{Base: 1 << 20, WorkingSetBytes: 16 << 10, Stride: 8,
+				SeqPermille: 600, StreamPermille: 0},
+			JumpPermille: 30, ShareBlocksWith: -1},
+		{Blocks: 5, MinBlockLen: 4, MaxBlockLen: 10, Mix: [4]float64{0.7, 0.2, 0.1, 0},
+			Pattern: program.MemPattern{Base: 64 << 20, WorkingSetBytes: 8 << 20, Stride: 8,
+				SeqPermille: 100, StreamPermille: 200, StreamBase: 1 << 34, StreamBytes: 1 << 28},
+			JumpPermille: 60, ShareBlocksWith: -1},
+	}
+	p, err := program.BuildProgram("tooltest", 7, specs,
+		program.UniformSchedule([]float64{0.5, 0.5}, total, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestInsCount(t *testing.T) {
+	p := testProgram(t, 20000)
+	e := pin.NewEngine(p)
+	ic := NewInsCount()
+	if err := e.Attach(ic); err != nil {
+		t.Fatal(err)
+	}
+	n := e.RunToEnd()
+	if ic.Instrs != n {
+		t.Errorf("inscount %d != executed %d", ic.Instrs, n)
+	}
+	if ic.Blocks == 0 || ic.Blocks > ic.Instrs {
+		t.Errorf("blocks = %d", ic.Blocks)
+	}
+}
+
+func TestLdStMixMatchesBlockAccounting(t *testing.T) {
+	p := testProgram(t, 20000)
+	e := pin.NewEngine(p)
+	mix := NewLdStMix()
+	ic := NewInsCount()
+	if err := e.Attach(mix); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Attach(ic); err != nil {
+		t.Fatal(err)
+	}
+	e.RunToEnd()
+	if mix.Mix.Total() != ic.Instrs {
+		t.Errorf("mix total %d != instruction count %d", mix.Mix.Total(), ic.Instrs)
+	}
+	fr := mix.Fractions()
+	sum := fr[0] + fr[1] + fr[2] + fr[3]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("fractions sum to %v", sum)
+	}
+	// The mix targets say roughly half the instructions reference memory.
+	if fr[0] < 0.3 || fr[0] > 0.9 {
+		t.Errorf("NO_MEM fraction %v implausible for targets", fr[0])
+	}
+}
+
+func TestBBProfileSlices(t *testing.T) {
+	p := testProgram(t, 30000)
+	e := pin.NewEngine(p)
+	prof := NewBBProfile(p.NumBlocks())
+	if err := e.Attach(prof); err != nil {
+		t.Fatal(err)
+	}
+	const slice = 2000
+	var total uint64
+	for !e.Done() {
+		n := e.Run(slice)
+		total += n
+		prof.CutSlice()
+	}
+	if len(prof.Vectors) != len(prof.SliceLens) {
+		t.Fatal("vectors/lengths mismatch")
+	}
+	var sliceSum uint64
+	for i, v := range prof.Vectors {
+		var vecSum float64
+		for _, x := range v {
+			vecSum += x
+		}
+		if uint64(vecSum) != prof.SliceLens[i] {
+			t.Fatalf("slice %d: BBV mass %v != slice length %d", i, vecSum, prof.SliceLens[i])
+		}
+		sliceSum += prof.SliceLens[i]
+	}
+	if sliceSum != total {
+		t.Errorf("slices sum to %d, executed %d (slicing must partition the run)", sliceSum, total)
+	}
+	// Empty cut is a no-op.
+	before := len(prof.Vectors)
+	prof.CutSlice()
+	if len(prof.Vectors) != before {
+		t.Error("empty CutSlice appended a slice")
+	}
+}
+
+func TestAllCacheCountsAccesses(t *testing.T) {
+	p := testProgram(t, 20000)
+	h, err := cache.NewHierarchy(cache.TableIConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := pin.NewEngine(p)
+	ac := NewAllCache(h)
+	mix := NewLdStMix()
+	if err := e.Attach(ac); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Attach(mix); err != nil {
+		t.Fatal(err)
+	}
+	e.RunToEnd()
+	// Every MEM_R/W is one data access; MEM_RW issues two.
+	wantData := mix.Mix.MemR + mix.Mix.MemW + 2*mix.Mix.MemRW
+	if got := h.L1D.Stats().Accesses; got != wantData {
+		t.Errorf("L1D accesses = %d, want %d", got, wantData)
+	}
+	if h.L1I.Stats().Accesses == 0 {
+		t.Error("no instruction fetches recorded")
+	}
+	// Code footprint is tiny: L1I must be near-perfect, as the paper notes.
+	if r := h.L1I.Stats().MissRate(); r > 0.01 {
+		t.Errorf("L1I miss rate = %v, expected negligible", r)
+	}
+}
+
+func TestPhaseMixSeparatesPhases(t *testing.T) {
+	p := testProgram(t, 20000)
+	e := pin.NewEngine(p)
+	pm := NewPhaseMix()
+	if err := e.Attach(pm); err != nil {
+		t.Fatal(err)
+	}
+	e.RunToEnd()
+	if len(pm.PerPhase) != 2 {
+		t.Fatalf("saw %d phases, want 2", len(pm.PerPhase))
+	}
+	f0 := pm.PerPhase[0].Fractions()
+	f1 := pm.PerPhase[1].Fractions()
+	// Phase 1 targets more NO_MEM than phase 0.
+	if f1[0] <= f0[0] {
+		t.Errorf("phase mixes not separated: NO_MEM %v vs %v", f0[0], f1[0])
+	}
+}
+
+func TestToolNames(t *testing.T) {
+	h, _ := cache.NewHierarchy(cache.TableIConfig())
+	names := map[string]pin.Tool{
+		"inscount":  NewInsCount(),
+		"ldstmix":   NewLdStMix(),
+		"bbprofile": NewBBProfile(1),
+		"allcache":  NewAllCache(h),
+		"phasemix":  NewPhaseMix(),
+	}
+	for want, tool := range names {
+		if got := tool.Name(); got != want {
+			t.Errorf("Name() = %q, want %q", got, want)
+		}
+	}
+}

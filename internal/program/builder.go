@@ -1,0 +1,170 @@
+package program
+
+import (
+	"fmt"
+
+	"specsampling/internal/isa"
+	"specsampling/internal/rng"
+)
+
+// PhaseSpec is a declarative description of one phase, consumed by
+// BuildProgram. The workload suite describes each SPEC CPU2017 stand-in
+// benchmark as a list of these.
+type PhaseSpec struct {
+	// Blocks is the number of basic blocks in the phase's loop body.
+	Blocks int
+	// MinBlockLen and MaxBlockLen bound the generated block sizes
+	// (instructions per block, inclusive).
+	MinBlockLen int
+	MaxBlockLen int
+	// Mix is the target instruction distribution in ldstmix order
+	// (NO_MEM, MEM_R, MEM_W, MEM_RW). It need not sum exactly to 1; it is
+	// normalised. Every block's final instruction is a Branch terminator
+	// (accounted as NO_MEM), so the realised NO_MEM share is slightly
+	// above target for short blocks.
+	Mix [4]float64
+	// Pattern is the phase's memory behaviour.
+	Pattern MemPattern
+	// JumpPermille is the phase's irregular-control-flow probability.
+	JumpPermille uint32
+	// ShareBlocksWith, when >= 0, names an earlier phase whose first
+	// ShareCount blocks are also included in this phase's body — modelling
+	// common code (library routines) shared between program phases.
+	ShareBlocksWith int
+	// ShareCount is how many blocks to borrow from ShareBlocksWith.
+	ShareCount int
+}
+
+// BuildProgram constructs and finalizes a Program from per-phase specs and a
+// schedule. Construction is deterministic in (name, seed, specs, schedule).
+func BuildProgram(name string, seed uint64, specs []PhaseSpec, schedule []Segment) (*Program, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("program %q: no phase specs", name)
+	}
+	p := &Program{
+		Name:     name,
+		Seed:     seed,
+		Schedule: schedule,
+	}
+	r := rng.New(seed ^ 0xb10c5)
+	for i, spec := range specs {
+		if spec.Blocks <= 0 {
+			return nil, fmt.Errorf("program %q phase %d: no blocks", name, i)
+		}
+		if spec.MinBlockLen < 2 {
+			return nil, fmt.Errorf("program %q phase %d: blocks need >= 2 instructions (body + terminator)", name, i)
+		}
+		if spec.MaxBlockLen < spec.MinBlockLen {
+			return nil, fmt.Errorf("program %q phase %d: max block length below min", name, i)
+		}
+		ph := &Phase{
+			ID:           i,
+			Pattern:      spec.Pattern,
+			JumpPermille: spec.JumpPermille,
+		}
+		if spec.ShareBlocksWith >= 0 && spec.ShareCount > 0 {
+			if spec.ShareBlocksWith >= i {
+				return nil, fmt.Errorf("program %q phase %d: can only share blocks with an earlier phase", name, i)
+			}
+			donor := p.Phases[spec.ShareBlocksWith]
+			n := spec.ShareCount
+			if n > len(donor.Blocks) {
+				n = len(donor.Blocks)
+			}
+			ph.Blocks = append(ph.Blocks, donor.Blocks[:n]...)
+		}
+		for j := 0; j < spec.Blocks; j++ {
+			b := genBlock(&r, len(p.Blocks), spec)
+			p.Blocks = append(p.Blocks, b)
+			ph.Blocks = append(ph.Blocks, b)
+		}
+		p.Phases = append(p.Phases, ph)
+	}
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// genBlock generates one static block whose body approximates the target
+// instruction mix.
+func genBlock(r *rng.RNG, id int, spec PhaseSpec) *isa.Block {
+	length := spec.MinBlockLen
+	if spec.MaxBlockLen > spec.MinBlockLen {
+		length += r.Intn(spec.MaxBlockLen - spec.MinBlockLen + 1)
+	}
+	b := &isa.Block{
+		ID: id,
+		// Blocks get well-separated PC ranges so branch-predictor index
+		// bits differ across blocks, as they would for real code.
+		PC:     0x400000 + uint64(id)*0x100,
+		Instrs: make([]isa.StaticInstr, 0, length),
+	}
+	// Normalise the mix into cumulative thresholds.
+	total := spec.Mix[0] + spec.Mix[1] + spec.Mix[2] + spec.Mix[3]
+	if total <= 0 {
+		total = 1
+		spec.Mix = [4]float64{1, 0, 0, 0}
+	}
+	var cum [4]float64
+	acc := 0.0
+	for k := 0; k < 4; k++ {
+		acc += spec.Mix[k] / total
+		cum[k] = acc
+	}
+	for j := 0; j < length-1; j++ {
+		v := r.Float64()
+		var kind isa.Kind
+		switch {
+		case v < cum[0]:
+			kind = isa.NoMem
+		case v < cum[1]:
+			kind = isa.MemR
+		case v < cum[2]:
+			kind = isa.MemW
+		default:
+			kind = isa.MemRW
+		}
+		size := uint8(4)
+		if kind.AccessesMemory() {
+			size = 8
+		}
+		b.Instrs = append(b.Instrs, isa.StaticInstr{Kind: kind, Size: size})
+	}
+	b.Instrs = append(b.Instrs, isa.StaticInstr{Kind: isa.Branch, Size: 2})
+	b.Finalize()
+	return b
+}
+
+// UniformSchedule builds a schedule that cycles through phases in a
+// round-robin of segment lengths proportional to weights, using segsPerPhase
+// visits per phase. It is a convenience for tests and synthetic workloads;
+// the workload package builds more structured schedules.
+func UniformSchedule(weights []float64, total uint64, segsPerPhase int) []Segment {
+	if segsPerPhase < 1 {
+		segsPerPhase = 1
+	}
+	norm := make([]float64, len(weights))
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	for i, w := range weights {
+		if sum > 0 {
+			norm[i] = w / sum
+		} else {
+			norm[i] = 1 / float64(len(weights))
+		}
+	}
+	var sched []Segment
+	for s := 0; s < segsPerPhase; s++ {
+		for ph, w := range norm {
+			n := uint64(float64(total) * w / float64(segsPerPhase))
+			if n == 0 {
+				continue
+			}
+			sched = append(sched, Segment{Phase: ph, Instrs: n})
+		}
+	}
+	return sched
+}

@@ -1,0 +1,207 @@
+// Package program defines the synthetic program model and its deterministic
+// executor. It is the stand-in for "a SPEC CPU2017 binary running under Pin":
+// a program is a set of phases, each phase a set of static basic blocks with
+// a characteristic instruction mix, memory-access pattern and control-flow
+// behaviour, plus a schedule that interleaves the phases over the run.
+//
+// Design requirements, in order of importance:
+//
+//  1. Determinism and checkpointability. PinPlay pinballs work because a
+//     captured state replays bit-exactly. Every dynamic decision the
+//     executor makes (block successor, branch outcome, memory address) is a
+//     pure hash of per-phase counters, so the complete execution state is a
+//     few integers (State). A snapshot at instruction n, resumed, is
+//     indistinguishable from uninterrupted execution — no matter which
+//     instrumentation granularity is attached in either run.
+//
+//  2. Speed. Whole runs are tens of millions of instructions. The executor
+//     works at basic-block granularity: tools that only need block events
+//     (BBV profiling, instruction mix) never pay a per-instruction cost;
+//     per-instruction work (memory-address materialisation) happens only
+//     when a memory hook is attached.
+//
+//  3. Realistic phase structure. SimPoint exploits long recurrent phases;
+//     the model must produce them, with tunable weight skew, so that the
+//     paper's Table II / Figure 6 shapes are reproducible.
+package program
+
+import (
+	"fmt"
+
+	"specsampling/internal/isa"
+)
+
+// MemPattern describes the memory behaviour of one phase. Accesses are a
+// blend of three components, chosen per access by a deterministic hash:
+//
+//   - sequential: a strided walk through the working set (spatial locality);
+//   - random: uniform references within the working set (temporal locality
+//     bounded by working-set size — this is the component whose hit rate
+//     depends on cache capacity and warm-up);
+//   - streaming: a walk through a region far larger than any cache
+//     (compulsory misses in steady state, modelling scans of big data).
+type MemPattern struct {
+	// Base is the first byte address of the phase's working-set region.
+	// Distinct phases use distinct regions, so phase changes disturb the
+	// caches the way real program phases do.
+	Base uint64
+	// WorkingSetBytes is the size of the reused region.
+	WorkingSetBytes uint64
+	// Stride is the byte stride of the sequential component.
+	Stride uint64
+	// SeqPermille is the per-mille probability that an access is
+	// sequential.
+	SeqPermille uint32
+	// StreamPermille is the per-mille probability that an access streams
+	// through the large cold region. The remainder
+	// (1000 - SeqPermille - StreamPermille) is random-in-working-set.
+	StreamPermille uint32
+	// StreamBase and StreamBytes define the streaming region.
+	StreamBase  uint64
+	StreamBytes uint64
+}
+
+// Validate reports configuration errors.
+func (p *MemPattern) Validate() error {
+	if p.WorkingSetBytes == 0 {
+		return fmt.Errorf("program: working set must be non-zero")
+	}
+	if p.Stride == 0 {
+		return fmt.Errorf("program: stride must be non-zero")
+	}
+	if p.SeqPermille+p.StreamPermille > 1000 {
+		return fmt.Errorf("program: component probabilities exceed 1000 permille")
+	}
+	if p.StreamPermille > 0 && p.StreamBytes == 0 {
+		return fmt.Errorf("program: streaming component without a streaming region")
+	}
+	return nil
+}
+
+// Phase is one recurrent behaviour of the program: the set of basic blocks
+// its inner loops execute, its memory pattern, and its control-flow
+// character. Phases may share Block pointers (common library code), which
+// gives their BBVs partial overlap just as real phases overlap.
+type Phase struct {
+	// ID is the phase index within the program.
+	ID int
+	// Blocks is the phase's loop body, executed as a cycle with occasional
+	// hash-driven jumps.
+	Blocks []*isa.Block
+	// Pattern is the phase's memory behaviour.
+	Pattern MemPattern
+	// JumpPermille is the per-mille probability that control transfers to a
+	// hash-chosen block instead of the next block in the cycle. Higher
+	// values produce more irregular control flow (harder-to-predict
+	// branches, noisier BBVs).
+	JumpPermille uint32
+
+	// seedCtl and seedMem are derived per-phase seeds for the control-flow
+	// and address hashes; set by Program.Finalize.
+	seedCtl uint64
+	seedMem uint64
+}
+
+// Segment is one schedule entry: run phase Phase for Instrs instructions
+// (rounded up to a block boundary during execution).
+type Segment struct {
+	Phase  int
+	Instrs uint64
+}
+
+// Program is a complete synthetic program.
+type Program struct {
+	// Name identifies the program (benchmark name).
+	Name string
+	// Seed drives every hash in the program's execution.
+	Seed uint64
+	// Blocks is the global static block list; Block.ID indexes it. BBVs are
+	// vectors over this list.
+	Blocks []*isa.Block
+	// Phases are the program's behaviours.
+	Phases []*Phase
+	// Schedule interleaves the phases; its lengths sum to the nominal
+	// dynamic instruction count.
+	Schedule []Segment
+
+	total uint64
+}
+
+// TotalInstrs is the nominal dynamic instruction count (the sum of schedule
+// segment lengths). Actual executed counts exceed it by at most one basic
+// block per segment, because segment boundaries round up to block
+// boundaries.
+func (p *Program) TotalInstrs() uint64 { return p.total }
+
+// NumBlocks is the static basic-block count (the BBV dimensionality).
+func (p *Program) NumBlocks() int { return len(p.Blocks) }
+
+// Finalize validates the program, computes derived per-block and per-phase
+// fields, and must be called once after construction, before any executor
+// is created.
+func (p *Program) Finalize() error {
+	if len(p.Phases) == 0 {
+		return fmt.Errorf("program %q: no phases", p.Name)
+	}
+	if len(p.Schedule) == 0 {
+		return fmt.Errorf("program %q: empty schedule", p.Name)
+	}
+	for i, b := range p.Blocks {
+		if b.ID != i {
+			return fmt.Errorf("program %q: block %d has ID %d", p.Name, i, b.ID)
+		}
+		if b.Len() == 0 {
+			return fmt.Errorf("program %q: block %d is empty", p.Name, i)
+		}
+		b.Finalize()
+	}
+	for i, ph := range p.Phases {
+		if ph.ID != i {
+			return fmt.Errorf("program %q: phase %d has ID %d", p.Name, i, ph.ID)
+		}
+		if len(ph.Blocks) == 0 {
+			return fmt.Errorf("program %q: phase %d has no blocks", p.Name, i)
+		}
+		if err := ph.Pattern.Validate(); err != nil {
+			return fmt.Errorf("program %q phase %d: %w", p.Name, i, err)
+		}
+		ph.seedCtl = mix(p.Seed ^ uint64(i)*0x9e3779b97f4a7c15 ^ 0xC71)
+		ph.seedMem = mix(p.Seed ^ uint64(i)*0x9e3779b97f4a7c15 ^ 0x3E3)
+	}
+	p.total = 0
+	for i, seg := range p.Schedule {
+		if seg.Phase < 0 || seg.Phase >= len(p.Phases) {
+			return fmt.Errorf("program %q: schedule segment %d references phase %d", p.Name, i, seg.Phase)
+		}
+		if seg.Instrs == 0 {
+			return fmt.Errorf("program %q: schedule segment %d is empty", p.Name, i)
+		}
+		p.total += seg.Instrs
+	}
+	return nil
+}
+
+// PhaseWeights returns each phase's share of the nominal instruction count,
+// the ground-truth weights that SimPoint clustering should approximately
+// recover.
+func (p *Program) PhaseWeights() []float64 {
+	w := make([]float64, len(p.Phases))
+	for _, seg := range p.Schedule {
+		w[seg.Phase] += float64(seg.Instrs)
+	}
+	for i := range w {
+		w[i] /= float64(p.total)
+	}
+	return w
+}
+
+// mix is the SplitMix64 finalizer: a high-quality 64-bit mixing function
+// used as the deterministic "randomness" source for all dynamic decisions.
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

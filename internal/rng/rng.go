@@ -1,0 +1,107 @@
+// Package rng provides the deterministic, checkpointable pseudo-random
+// number generator used by every component of the reproduction.
+//
+// Determinism is load-bearing here: PinPlay's pinballs work because replaying
+// a checkpoint reproduces the original execution exactly. Our executor state
+// machine achieves the same property only if every "random" decision it makes
+// (block successor choice, memory address draws) comes from a generator whose
+// entire state can be captured in a snapshot and restored bit-exactly.
+// math/rand's global functions and sources are not snapshot-friendly, so we
+// implement a small SplitMix64/xorshift-star hybrid whose state is a single
+// uint64.
+package rng
+
+import "math"
+
+// RNG is a deterministic generator with a single-word state. The zero value
+// is usable but every stream should normally be constructed with New so that
+// distinct seeds yield well-separated streams.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed. Seeds are pre-mixed so that
+// consecutive small integers produce uncorrelated streams.
+func New(seed uint64) RNG {
+	r := RNG{state: seed}
+	// One mixing round separates trivially related seeds (0, 1, 2, ...).
+	r.Next()
+	return r
+}
+
+// State returns the raw generator state for checkpointing.
+func (r *RNG) State() uint64 { return r.state }
+
+// Restore resets the generator to a previously captured state.
+func (r *RNG) Restore(state uint64) { r.state = state }
+
+// Next returns the next 64 uniformly distributed bits (SplitMix64).
+func (r *RNG) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64n returns a uniform value in [0, n). n must be > 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	// Multiply-shift reduction (Lemire). The slight modulo bias of the
+	// plain approach is irrelevant at our n but multiply-shift is also
+	// faster than division.
+	hi, _ := mul64(r.Next(), n)
+	return hi
+}
+
+// Intn returns a uniform int in [0, n). n must be > 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Next()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard-normal sample using the polar method.
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Split derives an independent generator from the current one. The parent
+// advances; the child is seeded from the drawn value so parent and child
+// streams do not overlap in practice.
+func (r *RNG) Split() RNG {
+	return New(r.Next())
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	a0, a1 := a&mask32, a>>32
+	b0, b1 := b&mask32, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t&mask32 + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return hi, lo
+}

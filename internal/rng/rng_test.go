@@ -1,0 +1,179 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("same-seed streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/100 identical draws across different seeds", same)
+	}
+}
+
+func TestStateRestore(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10; i++ {
+		r.Next()
+	}
+	saved := r.State()
+	want := make([]uint64, 20)
+	for i := range want {
+		want[i] = r.Next()
+	}
+	r.Restore(saved)
+	for i := range want {
+		if got := r.Next(); got != want[i] {
+			t.Fatalf("draw %d after restore = %d, want %d", i, got, want[i])
+		}
+	}
+}
+
+func TestUint64nRange(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := uint64(nRaw)%1000 + 1
+		r := New(seed)
+		for i := 0; i < 100; i++ {
+			if v := r.Uint64n(n); v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for n == 0")
+		}
+	}()
+	r := New(1)
+	r.Uint64n(0)
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for n <= 0")
+		}
+	}()
+	r := New(1)
+	r.Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(99)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Uniformity(t *testing.T) {
+	r := New(5)
+	const n = 100000
+	var sum float64
+	buckets := make([]int, 10)
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		sum += v
+		buckets[int(v*10)]++
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+	for i, c := range buckets {
+		frac := float64(c) / n
+		if math.Abs(frac-0.1) > 0.01 {
+			t.Errorf("bucket %d has fraction %v, want ~0.1", i, frac)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(3)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency = %v", frac)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(8)
+	child := parent.Split()
+	// Child and parent must not emit the same stream.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Next() == child.Next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d identical draws between parent and child", same)
+	}
+}
+
+func TestIntnCoversAllValues(t *testing.T) {
+	r := New(13)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		seen[r.Intn(7)] = true
+	}
+	for v := 0; v < 7; v++ {
+		if !seen[v] {
+			t.Errorf("Intn(7) never produced %d", v)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package simpoint_test
+
+import (
+	"fmt"
+
+	"specsampling/internal/simpoint"
+	"specsampling/internal/workload"
+)
+
+func ExampleAnalyze() {
+	spec, _ := workload.ByName("520.omnetpp_r")
+	prog, err := spec.Build(workload.ScaleSmall)
+	if err != nil {
+		panic(err)
+	}
+	res, err := simpoint.Analyze(prog, simpoint.DefaultConfig(workload.ScaleSmall.SliceLen))
+	if err != nil {
+		panic(err)
+	}
+	reduced, _ := res.Reduce(0.9)
+	fmt.Printf("%d simulation points, %d cover 90%% of execution\n",
+		res.NumPoints(), reduced.NumPoints())
+	// Output: 6 simulation points, 5 cover 90% of execution
+}

@@ -1,0 +1,139 @@
+package simpoint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The SimPoint tool emits two parallel text files: a ".simpoints" file with
+// lines "<sliceIndex> <pointID>" and a ".weights" file with lines
+// "<weight> <pointID>". We reproduce the format so downstream tooling (and
+// eyeballs used to the original) can consume our output.
+
+// WriteSimpointsFile writes the ".simpoints" file body.
+func (r *Result) WriteSimpointsFile(w io.Writer) error {
+	for i, pt := range r.Points {
+		if _, err := fmt.Fprintf(w, "%d %d\n", pt.SliceIndex, i); err != nil {
+			return fmt.Errorf("simpoint: write simpoints: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteWeightsFile writes the ".weights" file body.
+func (r *Result) WriteWeightsFile(w io.Writer) error {
+	for i, pt := range r.Points {
+		if _, err := fmt.Fprintf(w, "%.6f %d\n", pt.Weight, i); err != nil {
+			return fmt.Errorf("simpoint: write weights: %w", err)
+		}
+	}
+	return nil
+}
+
+// SaveFiles writes "<prefix>.simpoints" and "<prefix>.weights".
+func (r *Result) SaveFiles(prefix string) error {
+	for _, f := range []struct {
+		suffix string
+		write  func(io.Writer) error
+	}{
+		{".simpoints", r.WriteSimpointsFile},
+		{".weights", r.WriteWeightsFile},
+	} {
+		file, err := os.Create(prefix + f.suffix)
+		if err != nil {
+			return fmt.Errorf("simpoint: %w", err)
+		}
+		bw := bufio.NewWriter(file)
+		if err := f.write(bw); err != nil {
+			file.Close()
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			file.Close()
+			return fmt.Errorf("simpoint: flush: %w", err)
+		}
+		if err := file.Close(); err != nil {
+			return fmt.Errorf("simpoint: close: %w", err)
+		}
+	}
+	return nil
+}
+
+// FilePoint is one (sliceIndex, weight) pair parsed back from the SimPoint
+// text files.
+type FilePoint struct {
+	SliceIndex int
+	Weight     float64
+}
+
+// ReadFiles parses "<prefix>.simpoints" and "<prefix>.weights" back into
+// (sliceIndex, weight) pairs keyed by point ID order.
+func ReadFiles(prefix string) ([]FilePoint, error) {
+	simpoints, err := readPairs(prefix + ".simpoints")
+	if err != nil {
+		return nil, err
+	}
+	weights, err := readPairs(prefix + ".weights")
+	if err != nil {
+		return nil, err
+	}
+	if len(simpoints) != len(weights) {
+		return nil, fmt.Errorf("simpoint: %d simpoints vs %d weights", len(simpoints), len(weights))
+	}
+	out := make([]FilePoint, len(simpoints))
+	for i := range simpoints {
+		if simpoints[i].id != weights[i].id {
+			return nil, fmt.Errorf("simpoint: point id mismatch at line %d: %d vs %d",
+				i+1, simpoints[i].id, weights[i].id)
+		}
+		out[i] = FilePoint{
+			SliceIndex: int(simpoints[i].value),
+			Weight:     weights[i].value,
+		}
+	}
+	return out, nil
+}
+
+type pair struct {
+	value float64
+	id    int
+}
+
+func readPairs(path string) ([]pair, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("simpoint: %w", err)
+	}
+	defer f.Close()
+	var out []pair
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("simpoint: %s:%d: want 2 fields, got %d", path, line, len(fields))
+		}
+		v, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("simpoint: %s:%d: %w", path, line, err)
+		}
+		id, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("simpoint: %s:%d: %w", path, line, err)
+		}
+		out = append(out, pair{value: v, id: id})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("simpoint: scan %s: %w", path, err)
+	}
+	return out, nil
+}

@@ -1,0 +1,300 @@
+package simpoint
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"specsampling/internal/program"
+	"specsampling/internal/workload"
+)
+
+// phasedProgram builds a program with nPhases clearly distinct phases.
+func phasedProgram(t testing.TB, nPhases int, total uint64, seed uint64) *program.Program {
+	t.Helper()
+	specs := make([]program.PhaseSpec, nPhases)
+	weights := make([]float64, nPhases)
+	for i := range specs {
+		specs[i] = program.PhaseSpec{
+			Blocks:      5 + i%4,
+			MinBlockLen: 4,
+			MaxBlockLen: 10,
+			Mix:         [4]float64{0.5, 0.3, 0.15, 0.05},
+			Pattern: program.MemPattern{Base: uint64(i+1) << 24, WorkingSetBytes: 64 << 10,
+				Stride: 8, SeqPermille: 500},
+			JumpPermille:    30,
+			ShareBlocksWith: -1,
+		}
+		weights[i] = 1 / float64(nPhases)
+	}
+	p, err := program.BuildProgram("phased", seed, specs,
+		program.UniformSchedule(weights, total, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestProfilePartitionsRun(t *testing.T) {
+	p := phasedProgram(t, 3, 60000, 1)
+	slices, total, err := Profile(p, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	for i, s := range slices {
+		if s.Index != i {
+			t.Fatalf("slice %d has index %d", i, s.Index)
+		}
+		if s.Start.Instrs != sum {
+			t.Fatalf("slice %d starts at %d, previous slices sum to %d", i, s.Start.Instrs, sum)
+		}
+		sum += s.Len
+		var mass float64
+		for _, v := range s.BBV {
+			mass += v
+		}
+		if uint64(mass) != s.Len {
+			t.Fatalf("slice %d BBV mass %v != length %d", i, mass, s.Len)
+		}
+	}
+	if sum != total {
+		t.Errorf("slices sum to %d, total is %d", sum, total)
+	}
+	if len(slices) < 100 {
+		t.Errorf("only %d slices", len(slices))
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	p := phasedProgram(t, 2, 10000, 2)
+	if _, _, err := Profile(p, 0); err == nil {
+		t.Error("accepted zero slice length")
+	}
+}
+
+func TestAnalyzeFindsPhases(t *testing.T) {
+	p := phasedProgram(t, 4, 80000, 3)
+	cfg := DefaultConfig(512)
+	cfg.MaxK = 10
+	res, err := Analyze(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumPoints() < 3 || res.NumPoints() > 7 {
+		t.Errorf("found %d points for a 4-phase program", res.NumPoints())
+	}
+	if math.Abs(res.WeightTotal()-1) > 1e-9 {
+		t.Errorf("weights sum to %v", res.WeightTotal())
+	}
+	if res.TotalInstrs == 0 || res.NumSlices == 0 {
+		t.Error("missing totals")
+	}
+	if res.SampledInstrs() >= res.TotalInstrs {
+		t.Error("sampling did not reduce instruction count")
+	}
+	// Points must be in execution order with valid slice indices.
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].SliceIndex <= res.Points[i-1].SliceIndex {
+			t.Error("points out of execution order")
+		}
+	}
+	for _, pt := range res.Points {
+		if pt.SliceIndex < 0 || pt.SliceIndex >= res.NumSlices {
+			t.Errorf("point slice index %d out of range", pt.SliceIndex)
+		}
+		if pt.Len == 0 || pt.Weight <= 0 {
+			t.Errorf("degenerate point %+v", pt)
+		}
+	}
+}
+
+func TestAnalyzeDeterministic(t *testing.T) {
+	p := phasedProgram(t, 3, 50000, 4)
+	cfg := DefaultConfig(512)
+	a, err := Analyze(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Analyze(p, cfg)
+	if a.NumPoints() != b.NumPoints() {
+		t.Fatalf("non-deterministic point count: %d vs %d", a.NumPoints(), b.NumPoints())
+	}
+	for i := range a.Points {
+		if a.Points[i].SliceIndex != b.Points[i].SliceIndex ||
+			a.Points[i].Weight != b.Points[i].Weight {
+			t.Fatal("non-deterministic points")
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	p := phasedProgram(t, 2, 20000, 5)
+	if _, err := Analyze(p, Config{SliceLen: 0, MaxK: 5, ProjectDims: 15}); err == nil {
+		t.Error("accepted zero slice length")
+	}
+	if _, err := Analyze(p, Config{SliceLen: 512, MaxK: 0, ProjectDims: 15}); err == nil {
+		t.Error("accepted zero MaxK")
+	}
+	if _, err := Analyze(p, Config{SliceLen: 512, MaxK: 5, ProjectDims: 0}); err == nil {
+		t.Error("accepted zero projection dims")
+	}
+}
+
+func TestReduce(t *testing.T) {
+	p := phasedProgram(t, 5, 100000, 6)
+	cfg := DefaultConfig(512)
+	cfg.MaxK = 12
+	res, err := Analyze(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := res.Reduce(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.NumPoints() > res.NumPoints() {
+		t.Error("reduction added points")
+	}
+	if red.WeightTotal() < 0.9-1e-9 {
+		t.Errorf("reduced weight total %v < 0.9", red.WeightTotal())
+	}
+	// Reduction keeps the heaviest points: the minimum kept weight must be
+	// >= the maximum dropped weight.
+	kept := map[int]bool{}
+	minKept := math.MaxFloat64
+	for _, pt := range red.Points {
+		kept[pt.SliceIndex] = true
+		if pt.Weight < minKept {
+			minKept = pt.Weight
+		}
+	}
+	for _, pt := range res.Points {
+		if !kept[pt.SliceIndex] && pt.Weight > minKept+1e-12 {
+			t.Errorf("dropped point weight %v exceeds kept minimum %v", pt.Weight, minKept)
+		}
+	}
+	// Original untouched.
+	if math.Abs(res.WeightTotal()-1) > 1e-9 {
+		t.Error("Reduce mutated the original result")
+	}
+	if _, err := res.Reduce(0); err == nil {
+		t.Error("accepted percentile 0")
+	}
+	if _, err := res.Reduce(1.5); err == nil {
+		t.Error("accepted percentile > 1")
+	}
+	full, err := res.Reduce(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.NumPoints() != res.NumPoints() {
+		t.Error("Reduce(1) dropped points")
+	}
+}
+
+func TestVarianceSweepDecreasesWithK(t *testing.T) {
+	p := phasedProgram(t, 6, 120000, 7)
+	slices, _, err := Profile(p, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(512)
+	ks := []int{2, 4, 8, 16}
+	vs, err := VarianceSweep(slices, ks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != len(ks) {
+		t.Fatalf("got %d entries", len(vs))
+	}
+	// Variance must broadly decrease as clusters increase (Figure 4).
+	if vs[16] > vs[2] {
+		t.Errorf("variance grew with clusters: k=2 %v, k=16 %v", vs[2], vs[16])
+	}
+	for k, v := range vs {
+		if v < 0 {
+			t.Errorf("negative variance at k=%d", k)
+		}
+	}
+}
+
+func TestWorkloadPhaseRecovery(t *testing.T) {
+	// End-to-end: a real suite benchmark's clustering should find a point
+	// count in the right neighbourhood of its designed phase count.
+	spec, err := workload.ByName("520.omnetpp_r") // 4 phases
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := spec.Build(workload.ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(workload.ScaleSmall.SliceLen)
+	cfg.MaxK = 20
+	res, err := Analyze(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumPoints() < 3 || res.NumPoints() > 8 {
+		t.Errorf("omnetpp_r (4 phases) yielded %d simulation points", res.NumPoints())
+	}
+}
+
+func TestFilesRoundTrip(t *testing.T) {
+	p := phasedProgram(t, 3, 50000, 8)
+	cfg := DefaultConfig(512)
+	res, err := Analyze(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := filepath.Join(t.TempDir(), "phased")
+	if err := res.SaveFiles(prefix); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := ReadFiles(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != res.NumPoints() {
+		t.Fatalf("read %d points, wrote %d", len(pts), res.NumPoints())
+	}
+	for i, fp := range pts {
+		if fp.SliceIndex != res.Points[i].SliceIndex {
+			t.Errorf("point %d slice index %d, want %d", i, fp.SliceIndex, res.Points[i].SliceIndex)
+		}
+		if math.Abs(fp.Weight-res.Points[i].Weight) > 1e-5 {
+			t.Errorf("point %d weight %v, want %v", i, fp.Weight, res.Points[i].Weight)
+		}
+	}
+}
+
+func TestFileFormats(t *testing.T) {
+	res := &Result{
+		Benchmark: "x",
+		Points: []Point{
+			{SliceIndex: 7, Weight: 0.75},
+			{SliceIndex: 42, Weight: 0.25},
+		},
+	}
+	var sp, w bytes.Buffer
+	if err := res.WriteSimpointsFile(&sp); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteWeightsFile(&w); err != nil {
+		t.Fatal(err)
+	}
+	if sp.String() != "7 0\n42 1\n" {
+		t.Errorf("simpoints file = %q", sp.String())
+	}
+	if w.String() != "0.750000 0\n0.250000 1\n" {
+		t.Errorf("weights file = %q", w.String())
+	}
+}
+
+func TestReadFilesErrors(t *testing.T) {
+	if _, err := ReadFiles(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("read from missing files succeeded")
+	}
+}

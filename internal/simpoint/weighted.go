@@ -1,0 +1,98 @@
+package simpoint
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"specsampling/internal/bbv"
+	"specsampling/internal/kmeans"
+)
+
+// ClusterWeighted is the variable-length-interval variant of Cluster
+// (SimPoint 3.0, Hamerly et al. — discussed in the paper's Section V-B):
+// each slice influences the clustering in proportion to its instruction
+// count, and a simulation point's weight is its cluster's *instruction*
+// share rather than its slice-count share.
+//
+// For the fixed-length slices the default profiler cuts, the two variants
+// agree to within the final short slice; ClusterWeighted is the correct
+// formulation when slice lengths vary substantially.
+func ClusterWeighted(benchmark string, slices []Slice, totalInstrs uint64, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(slices) == 0 {
+		return nil, fmt.Errorf("simpoint: no slices")
+	}
+	kcfg := cfg.KMeans
+	if kcfg.MaxIter == 0 && kcfg.Restarts == 0 {
+		kcfg = kmeans.DefaultConfig(cfg.Seed)
+	}
+
+	dims := len(slices[0].BBV)
+	proj, err := bbv.NewProjector(dims, cfg.ProjectDims, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	points := make([][]float64, len(slices))
+	weights := make([]float64, len(slices))
+	for i, s := range slices {
+		v := append([]float64(nil), s.BBV...)
+		bbv.NormalizeL1(v)
+		points[i] = proj.Project(v)
+		weights[i] = float64(s.Len)
+	}
+
+	res, scores, err := kmeans.BestKWeighted(points, weights, cfg.MaxK, cfg.BICThreshold, kcfg)
+	if err != nil {
+		return nil, err
+	}
+	pts := chooseWeightedPoints(slices, points, res)
+	return &Result{
+		Benchmark:          benchmark,
+		Config:             cfg,
+		NumSlices:          len(slices),
+		TotalInstrs:        totalInstrs,
+		Points:             pts,
+		BIC:                scores,
+		AvgClusterVariance: res.WCSS / float64(totalInstrs),
+	}, nil
+}
+
+// chooseWeightedPoints picks the centroid-nearest slice per cluster and
+// weights it by the cluster's instruction mass.
+func chooseWeightedPoints(slices []Slice, projected [][]float64, res *kmeans.Result) []Point {
+	best := make([]int, res.K)
+	bestD := make([]float64, res.K)
+	instrMass := make([]float64, res.K)
+	for c := range best {
+		best[c] = -1
+		bestD[c] = math.MaxFloat64
+	}
+	var total float64
+	for i, p := range projected {
+		c := res.Assign[i]
+		instrMass[c] += float64(slices[i].Len)
+		total += float64(slices[i].Len)
+		if d := bbv.SqDist(p, res.Centroids[c]); d < bestD[c] {
+			best[c], bestD[c] = i, d
+		}
+	}
+	pts := make([]Point, 0, res.K)
+	for c, idx := range best {
+		if idx < 0 {
+			continue
+		}
+		s := slices[idx]
+		pts = append(pts, Point{
+			SliceIndex: s.Index,
+			Start:      s.Start,
+			Len:        s.Len,
+			Weight:     instrMass[c] / total,
+			Cluster:    c,
+		})
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].SliceIndex < pts[j].SliceIndex })
+	return pts
+}

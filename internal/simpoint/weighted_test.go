@@ -1,0 +1,93 @@
+package simpoint
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClusterWeightedAgreesWithFixedLength(t *testing.T) {
+	// Fixed-length slices: weighted and unweighted clustering must find a
+	// similar structure (same order of point count, weights summing to 1).
+	p := phasedProgram(t, 4, 80000, 31)
+	slices, total, err := Profile(p, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(512)
+	cfg.MaxK = 10
+
+	plain, err := Cluster(p.Name, slices, total, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := ClusterWeighted(p.Name, slices, total, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(weighted.WeightTotal()-1) > 1e-9 {
+		t.Errorf("weighted point weights sum to %v", weighted.WeightTotal())
+	}
+	if weighted.NumPoints() < plain.NumPoints()/2 || weighted.NumPoints() > plain.NumPoints()*2 {
+		t.Errorf("weighted found %d points, plain %d", weighted.NumPoints(), plain.NumPoints())
+	}
+	for i := 1; i < len(weighted.Points); i++ {
+		if weighted.Points[i].SliceIndex <= weighted.Points[i-1].SliceIndex {
+			t.Fatal("weighted points out of execution order")
+		}
+	}
+}
+
+func TestClusterWeightedInstructionMassWeights(t *testing.T) {
+	// Construct slices with wildly unequal lengths: two behaviours, one
+	// carried by a few long slices, one by many short ones. Weights must
+	// reflect instruction mass, not slice count.
+	mk := func(idx int, length uint64, hot int) Slice {
+		v := make([]float64, 4)
+		v[hot] = float64(length)
+		return Slice{Index: idx, Len: length, BBV: v}
+	}
+	var slices []Slice
+	var total uint64
+	// 4 long slices of behaviour A (dim 0): 4 x 10000 = 40000 instrs.
+	for i := 0; i < 4; i++ {
+		slices = append(slices, mk(len(slices), 10000, 0))
+		total += 10000
+	}
+	// 40 short slices of behaviour B (dim 1): 40 x 250 = 10000 instrs.
+	for i := 0; i < 40; i++ {
+		slices = append(slices, mk(len(slices), 250, 1))
+		total += 250
+	}
+	cfg := DefaultConfig(512)
+	cfg.MaxK = 4
+	cfg.ProjectDims = 4
+	res, err := ClusterWeighted("synthetic", slices, total, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumPoints() != 2 {
+		t.Fatalf("found %d points, want 2", res.NumPoints())
+	}
+	// Behaviour A holds 80% of the instruction mass despite being only
+	// 4/44 of the slices.
+	var aWeight float64
+	for _, pt := range res.Points {
+		if pt.SliceIndex < 4 {
+			aWeight = pt.Weight
+		}
+	}
+	if math.Abs(aWeight-0.8) > 0.02 {
+		t.Errorf("long-slice behaviour weight = %v, want ~0.8 by instruction mass", aWeight)
+	}
+}
+
+func TestClusterWeightedValidation(t *testing.T) {
+	if _, err := ClusterWeighted("x", nil, 0, DefaultConfig(512)); err == nil {
+		t.Error("empty slices accepted")
+	}
+	bad := DefaultConfig(512)
+	bad.MaxK = 0
+	if _, err := ClusterWeighted("x", []Slice{{Len: 10, BBV: []float64{1}}}, 10, bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

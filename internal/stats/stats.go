@@ -1,0 +1,214 @@
+// Package stats provides the statistical helpers the reproduction needs:
+// weighted aggregation of per-region statistics (the paper's "weighted
+// average of the statistics reported by each [regional pinball]"),
+// error metrics between sampled and whole runs, and correlation measures
+// used to compare native execution against sampled simulation.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// WeightedMean returns the weight-normalised mean of values. It is the
+// aggregation rule the paper prescribes in Section IV-D: each simulation
+// point reports a per-instruction-normalised statistic (miss rate, CPI,
+// mix fraction), and the suite-level value is the weight-average. Weights
+// need not sum to one; they are normalised internally. It panics if the
+// slices differ in length and returns 0 for empty input or zero total
+// weight.
+func WeightedMean(values, weights []float64) float64 {
+	if len(values) != len(weights) {
+		panic(fmt.Sprintf("stats: %d values vs %d weights", len(values), len(weights)))
+	}
+	var sum, wsum float64
+	for i, v := range values {
+		sum += v * weights[i]
+		wsum += weights[i]
+	}
+	if wsum == 0 {
+		return 0
+	}
+	return sum / wsum
+}
+
+// Mean returns the arithmetic mean, or 0 for empty input.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// Variance returns the population variance, or 0 for fewer than 2 values.
+func Variance(values []float64) float64 {
+	if len(values) < 2 {
+		return 0
+	}
+	m := Mean(values)
+	var sum float64
+	for _, v := range values {
+		d := v - m
+		sum += d * d
+	}
+	return sum / float64(len(values))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(values []float64) float64 { return math.Sqrt(Variance(values)) }
+
+// AbsError returns |measured - reference|.
+func AbsError(measured, reference float64) float64 {
+	return math.Abs(measured - reference)
+}
+
+// RelErrorPct returns the relative error of measured against reference, in
+// percent. When the reference is zero the error is defined as 0 if measured
+// is also zero, else +Inf — callers filter such degenerate metrics.
+func RelErrorPct(measured, reference float64) float64 {
+	if reference == 0 {
+		if measured == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(measured-reference) / math.Abs(reference) * 100
+}
+
+// DiffPct returns the signed percentage difference of measured relative to
+// reference: positive when the measurement overshoots. Same zero-reference
+// convention as RelErrorPct.
+func DiffPct(measured, reference float64) float64 {
+	if reference == 0 {
+		if measured == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (measured - reference) / math.Abs(reference) * 100
+}
+
+// MeanAbsError returns the mean absolute error between two equal-length
+// series.
+func MeanAbsError(measured, reference []float64) float64 {
+	if len(measured) != len(reference) {
+		panic(fmt.Sprintf("stats: %d measured vs %d reference", len(measured), len(reference)))
+	}
+	if len(measured) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range measured {
+		sum += math.Abs(measured[i] - reference[i])
+	}
+	return sum / float64(len(measured))
+}
+
+// MeanRelErrorPct returns the mean of per-element relative errors (percent),
+// skipping elements whose reference is zero.
+func MeanRelErrorPct(measured, reference []float64) float64 {
+	if len(measured) != len(reference) {
+		panic(fmt.Sprintf("stats: %d measured vs %d reference", len(measured), len(reference)))
+	}
+	var sum float64
+	var n int
+	for i := range measured {
+		if reference[i] == 0 {
+			continue
+		}
+		sum += RelErrorPct(measured[i], reference[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Pearson returns the Pearson correlation coefficient between two
+// equal-length series, or 0 when either series is constant.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: %d xs vs %d ys", len(xs), len(ys)))
+	}
+	if len(xs) < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Percentile returns the p-th percentile (0..100) of values using linear
+// interpolation between order statistics. It copies its input.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// GeoMean returns the geometric mean of positive values; non-positive
+// values are skipped. Returns 0 when no positive value exists.
+func GeoMean(values []float64) float64 {
+	var sum float64
+	var n int
+	for _, v := range values {
+		if v <= 0 {
+			continue
+		}
+		sum += math.Log(v)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Normalize scales weights so they sum to 1. A zero vector is returned
+// unchanged. The input is not modified.
+func Normalize(weights []float64) []float64 {
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	out := make([]float64, len(weights))
+	if sum == 0 {
+		copy(out, weights)
+		return out
+	}
+	for i, w := range weights {
+		out[i] = w / sum
+	}
+	return out
+}

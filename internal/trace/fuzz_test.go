@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"specsampling/internal/program"
+	"specsampling/internal/workload"
+)
+
+// FuzzNewReader exercises the trace decoder against arbitrary bytes: it
+// must never panic, and any accepted trace must be walkable to EOF without
+// errors beyond the declared block count.
+func FuzzNewReader(f *testing.F) {
+	spec, err := workload.ByName("520.omnetpp_r")
+	if err != nil {
+		f.Fatal(err)
+	}
+	p, err := spec.Build(workload.ScaleSmall)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := Record(program.NewExecutor(p), 2000, &buf, p.Name); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("STRC"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(data)
+		if err != nil {
+			return
+		}
+		var walked uint64
+		for walked <= r.Blocks() {
+			if _, err := r.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				return // corrupt varints may hide behind a valid CRC of garbage
+			}
+			walked++
+		}
+		if walked > r.Blocks() {
+			t.Fatalf("walked %d blocks, trailer declares %d", walked, r.Blocks())
+		}
+	})
+}

@@ -1,0 +1,271 @@
+// Package trace implements execution-trace logging and replay — the other
+// half of Pin's logger/replayer pair (the paper's Section II-B lists
+// "logger (records execution traces)" and "replayer (replays the logged
+// execution traces)" among the Pintools used).
+//
+// A trace is the dynamic basic-block stream of an execution region, stored
+// compactly: block IDs are delta-encoded against the previous block and
+// varint-compressed, so the common fall-through pattern (delta +1) costs
+// one byte per block. Traces serve two purposes:
+//
+//   - validation: Verify replays a region and checks the executor
+//     reproduces the recorded stream bit-exactly (the pinball determinism
+//     property, checkable against an artefact rather than in-process);
+//   - analysis: a trace can be consumed by tools without re-executing the
+//     program (Reader walks it block by block).
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"specsampling/internal/isa"
+	"specsampling/internal/pin"
+	"specsampling/internal/program"
+)
+
+const (
+	magic   = "STRC"
+	version = uint16(1)
+)
+
+// Writer streams a block trace.
+type Writer struct {
+	w      *bufio.Writer
+	crc    uint32
+	prev   int64
+	blocks uint64
+	instrs uint64
+	header bool
+	name   string
+}
+
+// NewWriter starts a trace for the named benchmark.
+func NewWriter(w io.Writer, benchmark string) *Writer {
+	return &Writer{w: bufio.NewWriter(w), name: benchmark}
+}
+
+func (t *Writer) writeHeader() error {
+	if t.header {
+		return nil
+	}
+	t.header = true
+	if _, err := t.w.WriteString(magic); err != nil {
+		return err
+	}
+	var v [2]byte
+	binary.LittleEndian.PutUint16(v[:], version)
+	if _, err := t.w.Write(v[:]); err != nil {
+		return err
+	}
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(t.name)))
+	if _, err := t.w.Write(n[:]); err != nil {
+		return err
+	}
+	_, err := t.w.WriteString(t.name)
+	return err
+}
+
+// Observe appends one dynamic block execution. It is shaped to serve as a
+// pin block hook.
+func (t *Writer) Observe(b *isa.Block, _ int) {
+	// Errors surface at Close; bufio retains the first error.
+	if !t.header {
+		if err := t.writeHeader(); err != nil {
+			return
+		}
+	}
+	delta := int64(b.ID) - t.prev
+	t.prev = int64(b.ID)
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], delta)
+	t.w.Write(buf[:n])
+	t.crc = crc32.Update(t.crc, crc32.IEEETable, buf[:n])
+	t.blocks++
+	t.instrs += uint64(b.Len())
+}
+
+// Name implements pin.Tool.
+func (*Writer) Name() string { return "tracelogger" }
+
+// OnBlock implements pin.BlockTool.
+func (t *Writer) OnBlock(b *isa.Block, phase int) { t.Observe(b, phase) }
+
+// Blocks returns the number of recorded block executions.
+func (t *Writer) Blocks() uint64 { return t.blocks }
+
+// Instrs returns the number of recorded instructions.
+func (t *Writer) Instrs() uint64 { return t.instrs }
+
+// Close flushes the trace and appends the trailer (block count + CRC).
+func (t *Writer) Close() error {
+	if err := t.writeHeader(); err != nil {
+		return fmt.Errorf("trace: header: %w", err)
+	}
+	// Trailer marker: varint 0 cannot follow a real stream ambiguity since
+	// deltas of 0 are legal... so the trailer is length-delimited instead:
+	// an explicit 8-byte block count and 4-byte CRC after the stream,
+	// found via the footer when reading the whole file.
+	var tail [12]byte
+	binary.LittleEndian.PutUint64(tail[:8], t.blocks)
+	binary.LittleEndian.PutUint32(tail[8:], t.crc)
+	if _, err := t.w.Write(tail[:]); err != nil {
+		return fmt.Errorf("trace: trailer: %w", err)
+	}
+	if err := t.w.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// Reader walks a recorded trace.
+type Reader struct {
+	data   []byte
+	pos    int
+	prev   int64
+	read   uint64
+	blocks uint64
+	crcPos int
+	name   string
+}
+
+// NewReader parses a complete trace held in data.
+func NewReader(data []byte) (*Reader, error) {
+	if len(data) < len(magic)+2+4+12 {
+		return nil, fmt.Errorf("trace: too short (%d bytes)", len(data))
+	}
+	if string(data[:4]) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	nameLen := int(binary.LittleEndian.Uint32(data[6:10]))
+	if nameLen > 1<<20 || 10+nameLen+12 > len(data) {
+		return nil, fmt.Errorf("trace: implausible name length %d", nameLen)
+	}
+	name := string(data[10 : 10+nameLen])
+	body := data[10+nameLen : len(data)-12]
+	blocks := binary.LittleEndian.Uint64(data[len(data)-12 : len(data)-4])
+	wantCRC := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(body); got != wantCRC {
+		return nil, fmt.Errorf("trace: checksum mismatch")
+	}
+	return &Reader{
+		data:   body,
+		blocks: blocks,
+		name:   name,
+	}, nil
+}
+
+// Benchmark returns the recorded benchmark name.
+func (r *Reader) Benchmark() string { return r.name }
+
+// Blocks returns the recorded block-execution count.
+func (r *Reader) Blocks() uint64 { return r.blocks }
+
+// Next returns the next block ID, or io.EOF when the trace ends.
+func (r *Reader) Next() (int, error) {
+	if r.read == r.blocks {
+		return 0, io.EOF
+	}
+	delta, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("trace: corrupt varint at offset %d", r.pos)
+	}
+	r.pos += n
+	r.prev += delta
+	r.read++
+	if r.prev < 0 {
+		return 0, fmt.Errorf("trace: negative block ID %d", r.prev)
+	}
+	return int(r.prev), nil
+}
+
+// Record runs length instructions of prog from its current state, writing
+// the block trace to w, and returns the instruction count executed.
+func Record(exec *program.Executor, length uint64, w io.Writer, benchmark string) (uint64, error) {
+	tw := NewWriter(w, benchmark)
+	engine := pin.NewEngineAt(exec)
+	if err := engine.Attach(tw); err != nil {
+		return 0, err
+	}
+	n := engine.Run(length)
+	if err := tw.Close(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Verify replays a region from the given state and checks the executor's
+// block stream matches the recorded trace exactly. It returns the number of
+// verified blocks.
+func Verify(prog *program.Program, start program.State, length uint64, traceData []byte) (uint64, error) {
+	r, err := NewReader(traceData)
+	if err != nil {
+		return 0, err
+	}
+	if r.Benchmark() != prog.Name {
+		return 0, fmt.Errorf("trace: recorded for %q, verifying against %q", r.Benchmark(), prog.Name)
+	}
+	exec := program.NewExecutor(prog)
+	if err := exec.Restore(start); err != nil {
+		return 0, err
+	}
+	var verified uint64
+	var mismatch error
+	exec.Run(length, program.Hooks{Block: func(b *isa.Block, _ int) {
+		if mismatch != nil {
+			return
+		}
+		want, err := r.Next()
+		if err == io.EOF {
+			mismatch = fmt.Errorf("trace: execution produced more blocks than recorded (%d)", verified)
+			return
+		}
+		if err != nil {
+			mismatch = err
+			return
+		}
+		if b.ID != want {
+			mismatch = fmt.Errorf("trace: block %d diverges: executed %d, recorded %d", verified, b.ID, want)
+			return
+		}
+		verified++
+	}})
+	if mismatch != nil {
+		return verified, mismatch
+	}
+	if verified != r.Blocks() {
+		return verified, fmt.Errorf("trace: verified %d of %d recorded blocks", verified, r.Blocks())
+	}
+	return verified, nil
+}
+
+// Save records a region to a file.
+func Save(path string, exec *program.Executor, length uint64, benchmark string) (uint64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, fmt.Errorf("trace: %w", err)
+	}
+	n, err := Record(exec, length, f, benchmark)
+	if err != nil {
+		f.Close()
+		return n, err
+	}
+	return n, f.Close()
+}
+
+// Load reads a trace file.
+func Load(path string) (*Reader, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return NewReader(data)
+}

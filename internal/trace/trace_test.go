@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"testing"
+
+	"specsampling/internal/program"
+	"specsampling/internal/workload"
+)
+
+func testProgram(t testing.TB) *program.Program {
+	t.Helper()
+	spec, err := workload.ByName("557.xz_r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := spec.Build(workload.ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRecordReadRoundTrip(t *testing.T) {
+	p := testProgram(t)
+	exec := program.NewExecutor(p)
+	exec.Run(5000, program.Hooks{})
+	start := exec.State()
+
+	var buf bytes.Buffer
+	n, err := Record(exec, 3000, &buf, p.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 3000 {
+		t.Fatalf("recorded only %d instructions", n)
+	}
+
+	r, err := NewReader(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Benchmark() != p.Name {
+		t.Errorf("benchmark %q", r.Benchmark())
+	}
+	if r.Blocks() == 0 {
+		t.Error("no blocks recorded")
+	}
+	// The trace must verify against a replay from the recorded start.
+	if n, err := Verify(p, start, 3000, buf.Bytes()); err != nil {
+		t.Fatalf("verify after record: %v (verified %d)", err, n)
+	}
+}
+
+func TestVerifyDetectsDivergence(t *testing.T) {
+	p := testProgram(t)
+	exec := program.NewExecutor(p)
+	exec.Run(2000, program.Hooks{})
+	start := exec.State()
+
+	var buf bytes.Buffer
+	if _, err := Record(exec, 2000, &buf, p.Name); err != nil {
+		t.Fatal(err)
+	}
+
+	// Verifying from the WRONG start state must fail.
+	wrong := program.NewExecutor(p)
+	wrong.Run(100, program.Hooks{})
+	if _, err := Verify(p, wrong.State(), 2000, buf.Bytes()); err == nil {
+		t.Error("divergent replay verified successfully")
+	}
+
+	// Verifying from the right state succeeds.
+	if n, err := Verify(p, start, 2000, buf.Bytes()); err != nil {
+		t.Errorf("correct replay failed: %v (verified %d)", err, n)
+	}
+}
+
+func TestVerifyRejectsWrongBenchmark(t *testing.T) {
+	p := testProgram(t)
+	exec := program.NewExecutor(p)
+	var buf bytes.Buffer
+	if _, err := Record(exec, 1000, &buf, "some-other-benchmark"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(p, program.NewExecutor(p).State(), 1000, buf.Bytes()); err == nil {
+		t.Error("foreign trace accepted")
+	}
+}
+
+func TestReaderRejectsCorruption(t *testing.T) {
+	p := testProgram(t)
+	exec := program.NewExecutor(p)
+	var buf bytes.Buffer
+	if _, err := Record(exec, 1000, &buf, p.Name); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	if _, err := NewReader(data[:8]); err == nil {
+		t.Error("truncated trace accepted")
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := NewReader(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)/2] ^= 0xff
+	if _, err := NewReader(flipped); err == nil {
+		t.Error("corrupt body accepted")
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	p := testProgram(t)
+	exec := program.NewExecutor(p)
+	var buf bytes.Buffer
+	if _, err := Record(exec, 500, &buf, p.Name); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count uint64
+	for {
+		if _, err := r.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		count++
+	}
+	if count != r.Blocks() {
+		t.Errorf("walked %d of %d blocks", count, r.Blocks())
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Error("Next after EOF should keep returning EOF")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	p := testProgram(t)
+	exec := program.NewExecutor(p)
+	path := filepath.Join(t.TempDir(), "region.trc")
+	if _, err := Save(path, exec, 1500, p.Name); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Blocks() == 0 {
+		t.Error("empty trace")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.trc")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestCompactness(t *testing.T) {
+	// Mostly-sequential block streams should cost ~1 byte per block.
+	p := testProgram(t)
+	exec := program.NewExecutor(p)
+	var buf bytes.Buffer
+	if _, err := Record(exec, 50000, &buf, p.Name); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytesPerBlock := float64(buf.Len()) / float64(r.Blocks())
+	if bytesPerBlock > 2.0 {
+		t.Errorf("trace costs %.2f bytes/block, want <= 2", bytesPerBlock)
+	}
+}

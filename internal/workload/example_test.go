@@ -1,0 +1,32 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"specsampling/internal/workload"
+)
+
+func ExampleByName() {
+	spec, err := workload.ByName("505.mcf_r")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(spec.Name, spec.Class, spec.Phases, spec.Phases90)
+	// Output: 505.mcf_r SPECrate INT 18 9
+}
+
+func ExampleSpec_Build() {
+	spec, _ := workload.ByName("520.omnetpp_r")
+	prog, err := spec.Build(workload.ScaleSmall)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(prog.Phases), "phases,", prog.NumBlocks(), "static blocks")
+	// Output: 4 phases, 40 static blocks
+}
+
+func ExampleScaleByName() {
+	scale, _ := workload.ScaleByName("full")
+	fmt.Println(scale.SliceLen, "instructions per slice (stands for", scale.PaperSliceInstrs, "in the paper)")
+	// Output: 4096 instructions per slice (stands for 30000000 in the paper)
+}

@@ -1,0 +1,146 @@
+package workload
+
+import "fmt"
+
+// Memory profiles by benchmark character. Working-set ceilings are chosen
+// against the Table I hierarchy (32 kB L1D, 2 MB L2, 16 MB L3): cacheable
+// profiles stay mostly inside L2/L3 so their steady-state miss rates depend
+// on warm-up, while streaming-heavy profiles generate compulsory LLC traffic
+// in whole and sampled runs alike.
+var (
+	// pointerChasing: mcf/omnetpp/xalancbmk-like — large irregular working
+	// sets, little streaming.
+	pointerChasing = MemProfile{MinWS: 512 << 10, MaxWS: 12 << 20, StreamPermille: 30, Stride: 8}
+	// computeLean: exchange2/deepsjeng/leela-like — small hot working sets.
+	computeLean = MemProfile{MinWS: 32 << 10, MaxWS: 512 << 10, StreamPermille: 10, Stride: 8}
+	// mixedInt: perlbench/gcc/x264/xz-like — moderate working sets.
+	mixedInt = MemProfile{MinWS: 128 << 10, MaxWS: 4 << 20, StreamPermille: 40, Stride: 8}
+	// fpStreaming: bwaves/lbm/fotonik3d-like — stencil codes that stream
+	// through large grids.
+	fpStreaming = MemProfile{MinWS: 1 << 20, MaxWS: 10 << 20, StreamPermille: 140, Stride: 8}
+	// fpCacheable: namd/nab/povray/imagick-like — FP codes with good reuse.
+	fpCacheable = MemProfile{MinWS: 64 << 10, MaxWS: 2 << 20, StreamPermille: 20, Stride: 8}
+	// fpLarge: parest/cactuBSSN/blender-like — large FP working sets.
+	fpLarge = MemProfile{MinWS: 512 << 10, MaxWS: 8 << 20, StreamPermille: 70, Stride: 8}
+)
+
+// Standard instruction-mix targets (NO_MEM, MEM_R, MEM_W, MEM_RW). The
+// suite averages land near the paper's whole-run distribution of 49.1 %
+// compute-only, 36.7 % memory-read and 12.9 % memory-write instructions.
+var (
+	mixIntTypical = [4]float64{0.48, 0.37, 0.13, 0.02}
+	mixIntCompute = [4]float64{0.58, 0.30, 0.11, 0.01}
+	mixIntMemory  = [4]float64{0.42, 0.42, 0.15, 0.01}
+	mixFPTypical  = [4]float64{0.50, 0.36, 0.13, 0.01}
+	mixFPCompute  = [4]float64{0.56, 0.32, 0.11, 0.01}
+	mixFPMemory   = [4]float64{0.44, 0.41, 0.14, 0.01}
+)
+
+// suite is the synthetic SPEC CPU2017 subset of the paper's Table II. The
+// Phases and Phases90 columns are the paper's measured simulation-point
+// counts; WholeInstrs are full-scale nominal lengths (the paper's dynamic
+// counts divided by ~125 000, keeping the relative magnitudes of Figure 5).
+var suite = []Spec{
+	// SPECrate INT
+	{Name: "500.perlbench_r", Number: 500, Class: IntRate, WholeInstrs: 44 << 20, Phases: 18, Phases90: 11,
+		BaseMix: mixIntTypical, Mem: mixedInt, JumpPermille: 70, Seed: 0x500},
+	{Name: "502.gcc_r", Number: 502, Class: IntRate, WholeInstrs: 36 << 20, Phases: 27, Phases90: 15,
+		BaseMix: mixIntTypical, Mem: mixedInt, JumpPermille: 90, Seed: 0x502},
+	{Name: "505.mcf_r", Number: 505, Class: IntRate, WholeInstrs: 40 << 20, Phases: 18, Phases90: 9,
+		BaseMix: mixIntMemory, Mem: pointerChasing, JumpPermille: 110, Seed: 0x505},
+	{Name: "520.omnetpp_r", Number: 520, Class: IntRate, WholeInstrs: 28 << 20, Phases: 4, Phases90: 3,
+		BaseMix: mixIntMemory, Mem: pointerChasing, JumpPermille: 100, Seed: 0x520},
+	{Name: "525.x264_r", Number: 525, Class: IntRate, WholeInstrs: 48 << 20, Phases: 23, Phases90: 15,
+		BaseMix: mixIntTypical, Mem: mixedInt, JumpPermille: 50, Seed: 0x525},
+	{Name: "531.deepsjeng_r", Number: 531, Class: IntRate, WholeInstrs: 40 << 20, Phases: 20, Phases90: 15,
+		BaseMix: mixIntCompute, Mem: computeLean, JumpPermille: 80, Seed: 0x531},
+	{Name: "541.leela_r", Number: 541, Class: IntRate, WholeInstrs: 44 << 20, Phases: 19, Phases90: 12,
+		BaseMix: mixIntCompute, Mem: computeLean, JumpPermille: 85, Seed: 0x541},
+	{Name: "548.exchange2_r", Number: 548, Class: IntRate, WholeInstrs: 48 << 20, Phases: 21, Phases90: 16,
+		BaseMix: mixIntCompute, Mem: computeLean, JumpPermille: 40, Seed: 0x548},
+	{Name: "557.xz_r", Number: 557, Class: IntRate, WholeInstrs: 32 << 20, Phases: 13, Phases90: 7,
+		BaseMix: mixIntMemory, Mem: mixedInt, JumpPermille: 75, Seed: 0x557},
+
+	// SPECspeed INT
+	{Name: "600.perlbench_s", Number: 600, Class: IntSpeed, WholeInstrs: 72 << 20, Phases: 21, Phases90: 13,
+		BaseMix: mixIntTypical, Mem: mixedInt, JumpPermille: 70, Seed: 0x600},
+	{Name: "602.gcc_s", Number: 602, Class: IntSpeed, WholeInstrs: 64 << 20, Phases: 15, Phases90: 5,
+		BaseMix: mixIntTypical, Mem: mixedInt, JumpPermille: 90, Seed: 0x602},
+	{Name: "605.mcf_s", Number: 605, Class: IntSpeed, WholeInstrs: 80 << 20, Phases: 28, Phases90: 14,
+		BaseMix: mixIntMemory, Mem: pointerChasing, JumpPermille: 110, Seed: 0x605},
+	{Name: "620.omnetpp_s", Number: 620, Class: IntSpeed, WholeInstrs: 52 << 20, Phases: 3, Phases90: 2,
+		BaseMix: mixIntMemory, Mem: pointerChasing, JumpPermille: 100, Seed: 0x620},
+	{Name: "623.xalancbmk_s", Number: 623, Class: IntSpeed, WholeInstrs: 68 << 20, Phases: 25, Phases90: 19,
+		BaseMix: mixIntMemory, Mem: pointerChasing, JumpPermille: 95, Seed: 0x623},
+	{Name: "625.x264_s", Number: 625, Class: IntSpeed, WholeInstrs: 76 << 20, Phases: 19, Phases90: 13,
+		BaseMix: mixIntTypical, Mem: mixedInt, JumpPermille: 50, Seed: 0x625},
+	{Name: "631.deepsjeng_s", Number: 631, Class: IntSpeed, WholeInstrs: 64 << 20, Phases: 12, Phases90: 10,
+		BaseMix: mixIntCompute, Mem: computeLean, JumpPermille: 80, Seed: 0x631},
+	{Name: "641.leela_s", Number: 641, Class: IntSpeed, WholeInstrs: 72 << 20, Phases: 20, Phases90: 13,
+		BaseMix: mixIntCompute, Mem: computeLean, JumpPermille: 85, Seed: 0x641},
+	{Name: "648.exchange2_s", Number: 648, Class: IntSpeed, WholeInstrs: 80 << 20, Phases: 19, Phases90: 15,
+		BaseMix: mixIntCompute, Mem: computeLean, JumpPermille: 40, Seed: 0x648},
+	{Name: "657.xz_s", Number: 657, Class: IntSpeed, WholeInstrs: 60 << 20, Phases: 18, Phases90: 10,
+		BaseMix: mixIntMemory, Mem: mixedInt, JumpPermille: 75, Seed: 0x657},
+
+	// SPECrate FP
+	{Name: "503.bwaves_r", Number: 503, Class: FPRate, WholeInstrs: 128 << 20, Phases: 26, Phases90: 7,
+		DominantWeight: 0.60,
+		BaseMix:        mixFPMemory, Mem: fpStreaming, JumpPermille: 6, Seed: 0x503},
+	{Name: "507.cactuBSSN_r", Number: 507, Class: FPRate, WholeInstrs: 96 << 20, Phases: 25, Phases90: 4,
+		BaseMix: mixFPMemory, Mem: fpLarge, JumpPermille: 8, Seed: 0x507},
+	{Name: "508.namd_r", Number: 508, Class: FPRate, WholeInstrs: 88 << 20, Phases: 26, Phases90: 17,
+		BaseMix: mixFPCompute, Mem: fpCacheable, JumpPermille: 20, Seed: 0x508},
+	{Name: "510.parest_r", Number: 510, Class: FPRate, WholeInstrs: 92 << 20, Phases: 23, Phases90: 14,
+		BaseMix: mixFPTypical, Mem: fpLarge, JumpPermille: 35, Seed: 0x510},
+	{Name: "511.povray_r", Number: 511, Class: FPRate, WholeInstrs: 84 << 20, Phases: 23, Phases90: 19,
+		BaseMix: mixFPCompute, Mem: fpCacheable, JumpPermille: 45, Seed: 0x511},
+	{Name: "519.lbm_r", Number: 519, Class: FPRate, WholeInstrs: 72 << 20, Phases: 22, Phases90: 8,
+		BaseMix: mixFPMemory, Mem: fpStreaming, JumpPermille: 6, Seed: 0x519},
+	{Name: "526.blender_r", Number: 526, Class: FPRate, WholeInstrs: 76 << 20, Phases: 22, Phases90: 14,
+		BaseMix: mixFPTypical, Mem: fpLarge, JumpPermille: 55, Seed: 0x526},
+	{Name: "538.imagick_r", Number: 538, Class: FPRate, WholeInstrs: 64 << 20, Phases: 14, Phases90: 7,
+		BaseMix: mixFPCompute, Mem: fpCacheable, JumpPermille: 25, Seed: 0x538},
+	{Name: "544.nab_r", Number: 544, Class: FPRate, WholeInstrs: 68 << 20, Phases: 22, Phases90: 10,
+		BaseMix: mixFPCompute, Mem: fpCacheable, JumpPermille: 30, Seed: 0x544},
+	{Name: "549.fotonik3d_r", Number: 549, Class: FPRate, WholeInstrs: 80 << 20, Phases: 27, Phases90: 11,
+		BaseMix: mixFPMemory, Mem: fpStreaming, JumpPermille: 8, Seed: 0x549},
+}
+
+// Suite returns the full synthetic suite (a copy; callers may reorder).
+func Suite() []Spec {
+	out := make([]Spec, len(suite))
+	copy(out, suite)
+	return out
+}
+
+// ByName finds a benchmark by its full SPEC name ("623.xalancbmk_s") or its
+// short name ("xalancbmk_s").
+func ByName(name string) (Spec, error) {
+	for _, s := range suite {
+		if s.Name == name || shortName(s.Name) == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Names returns all full benchmark names in suite order.
+func Names() []string {
+	out := make([]string, len(suite))
+	for i, s := range suite {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// shortName strips the leading SPEC number ("623.xalancbmk_s" ->
+// "xalancbmk_s").
+func shortName(full string) string {
+	for i := 0; i < len(full); i++ {
+		if full[i] == '.' {
+			return full[i+1:]
+		}
+	}
+	return full
+}

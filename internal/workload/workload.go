@@ -1,0 +1,490 @@
+// Package workload defines the synthetic SPEC CPU2017 suite — the
+// reproduction's stand-in for the proprietary benchmarks. It models the 29
+// workloads of the paper's Table II, each as a deterministic generative
+// program (internal/program) whose phase structure mirrors what the paper
+// measured:
+//
+//   - the number of phases equals the benchmark's simulation-point count in
+//     Table II;
+//   - the phase-weight distribution is a geometric decay whose rate is
+//     solved so that the paper's 90th-percentile simulation-point count is
+//     reproduced (e.g. bwaves_r concentrates >60 % of execution in one
+//     dominant phase, deepsjeng_s spreads weight almost uniformly);
+//   - per-phase instruction mixes scatter around the suite averages the
+//     paper reports (49.1 % NO_MEM, 36.7 % MEM_R, 12.9 % MEM_W);
+//   - per-phase working sets range from L1-resident to multi-megabyte, so
+//     the Table I cache hierarchy shows the paper's cold-start gradient.
+//
+// Whole-run instruction counts are scaled (see Scale) so experiments run on
+// a laptop while preserving the ratios the paper reports.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"specsampling/internal/cache"
+	"specsampling/internal/program"
+)
+
+// Class is the benchmark's SPEC CPU2017 sub-suite.
+type Class int
+
+// SPEC CPU2017 sub-suites.
+const (
+	IntRate Class = iota
+	IntSpeed
+	FPRate
+	FPSpeed
+)
+
+// String names the class the way SPEC does.
+func (c Class) String() string {
+	switch c {
+	case IntRate:
+		return "SPECrate INT"
+	case IntSpeed:
+		return "SPECspeed INT"
+	case FPRate:
+		return "SPECrate FP"
+	case FPSpeed:
+		return "SPECspeed FP"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Scale trades fidelity for run time. The paper's benchmarks average
+// 6 873.9 G instructions with 30 M-instruction slices; Full scale divides
+// all dynamic counts by ~125 000 while keeping the slice-count-to-
+// simulation-point ratios (and therefore the paper's headline reduction
+// factors) intact. Medium and Small divide further for benchmarks and unit
+// tests.
+type Scale struct {
+	// Name identifies the scale ("full", "medium", "small").
+	Name string
+	// Div divides every benchmark's nominal whole-run length.
+	Div uint64
+	// SliceLen is the SimPoint slice length at this scale, corresponding to
+	// the paper's 30 M-instruction slices.
+	SliceLen uint64
+	// PaperSliceInstrs is the paper-equivalent slice size SliceLen stands
+	// for, used for labelling sweep outputs.
+	PaperSliceInstrs uint64
+	// CacheDivs divides cache capacities per level
+	// (cache.ScaledHierarchy / timing.ScaledConfig) so slice-to-cache
+	// coverage proportions track the paper's: a 30 M-instruction slice
+	// warms an L2 completely and an LLC only partially, and our much
+	// shorter slices must do the same to their scaled caches. Working sets
+	// scale by CacheDivs.L3 so the footprint-to-LLC ratios are preserved
+	// too.
+	CacheDivs cache.ScaleDivs
+}
+
+// The three standard scales.
+var (
+	ScaleFull = Scale{Name: "full", Div: 1, SliceLen: 4096, PaperSliceInstrs: 30_000_000,
+		CacheDivs: cache.ScaleDivs{L1: 4, L2: 64, L3: 64}}
+	ScaleMedium = Scale{Name: "medium", Div: 8, SliceLen: 2048, PaperSliceInstrs: 30_000_000,
+		CacheDivs: cache.ScaleDivs{L1: 8, L2: 128, L3: 128}}
+	ScaleSmall = Scale{Name: "small", Div: 64, SliceLen: 512, PaperSliceInstrs: 30_000_000,
+		CacheDivs: cache.ScaleDivs{L1: 16, L2: 512, L3: 512}}
+)
+
+// ScaleByName resolves a scale name.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "full":
+		return ScaleFull, nil
+	case "medium":
+		return ScaleMedium, nil
+	case "small":
+		return ScaleSmall, nil
+	default:
+		return Scale{}, fmt.Errorf("workload: unknown scale %q (want full, medium or small)", name)
+	}
+}
+
+// ScaleFromEnv returns the scale named by the SPECSIM_SCALE environment
+// variable, or def when unset.
+func ScaleFromEnv(def Scale) Scale {
+	if name := os.Getenv("SPECSIM_SCALE"); name != "" {
+		if s, err := ScaleByName(name); err == nil {
+			return s
+		}
+	}
+	return def
+}
+
+// SliceLenForPaperSize converts a paper-scale slice size (e.g. 15 M, 50 M)
+// to this scale's equivalent, preserving the proportion to the default
+// 30 M slice. Used by the Figure 3(b) slice-size sweep.
+func (s Scale) SliceLenForPaperSize(paperInstrs uint64) uint64 {
+	v := s.SliceLen * paperInstrs / s.PaperSliceInstrs
+	if v < 64 {
+		v = 64
+	}
+	return v
+}
+
+// MemProfile characterises a benchmark's memory behaviour.
+type MemProfile struct {
+	// MinWS and MaxWS bound the per-phase working-set sizes (bytes);
+	// individual phases interpolate log-uniformly between them.
+	MinWS uint64
+	MaxWS uint64
+	// StreamPermille is the base probability (per mille) of streaming
+	// accesses that walk through a region larger than the LLC.
+	StreamPermille uint32
+	// Stride is the sequential component's byte stride.
+	Stride uint64
+}
+
+// Spec declares one benchmark of the synthetic suite.
+type Spec struct {
+	// Name is the SPEC-style benchmark name, e.g. "523.xalancbmk_r".
+	Name string
+	// Number is the SPEC benchmark number (500, 502, ...).
+	Number int
+	// Class is the sub-suite.
+	Class Class
+	// WholeInstrs is the full-scale nominal whole-run dynamic instruction
+	// count.
+	WholeInstrs uint64
+	// Phases is the benchmark's phase count, set to the simulation-point
+	// count the paper reports in Table II.
+	Phases int
+	// Phases90 is the paper's 90th-percentile simulation-point count
+	// (Table II, third column); it determines the weight skew.
+	Phases90 int
+	// DominantWeight, when > 0, pins the first phase's weight (bwaves_r's
+	// single 60 % phase); the remaining phases share the rest geometrically.
+	DominantWeight float64
+	// BaseMix is the target instruction distribution
+	// (NO_MEM, MEM_R, MEM_W, MEM_RW); phases jitter around it.
+	BaseMix [4]float64
+	// Mem is the benchmark's memory profile.
+	Mem MemProfile
+	// JumpPermille is the base control-flow irregularity; phases jitter
+	// around it. Higher values make branches harder to predict.
+	JumpPermille uint32
+	// Seed isolates the benchmark's pseudo-random structure.
+	Seed uint64
+}
+
+// ScaledInstrs returns the nominal whole-run length at the given scale.
+func (s Spec) ScaledInstrs(scale Scale) uint64 {
+	n := s.WholeInstrs / scale.Div
+	min := 40 * scale.SliceLen
+	if n < min {
+		n = min
+	}
+	return n
+}
+
+// TargetWeights returns the designed phase-weight vector (descending), the
+// distribution the SimPoint pipeline should approximately recover.
+func (s Spec) TargetWeights() []float64 {
+	return solveWeights(s.Phases, s.Phases90, s.DominantWeight)
+}
+
+// Build constructs the benchmark's program at the given scale.
+func (s Spec) Build(scale Scale) (*program.Program, error) {
+	if s.Phases <= 0 || s.Phases90 <= 0 || s.Phases90 > s.Phases {
+		return nil, fmt.Errorf("workload %s: invalid phase counts %d/%d", s.Name, s.Phases, s.Phases90)
+	}
+	weights := s.TargetWeights()
+	total := s.ScaledInstrs(scale)
+
+	// Floor tiny phases at a few slices so every designed phase is
+	// discoverable by clustering, then renormalise.
+	floor := float64(12*scale.SliceLen) / float64(total)
+	weights = floorWeights(weights, floor)
+
+	specs := make([]program.PhaseSpec, s.Phases)
+	for i := range specs {
+		h := phaseHash(s.Seed, i)
+		specs[i] = program.PhaseSpec{
+			Blocks:          6 + int(h%11),
+			MinBlockLen:     4,
+			MaxBlockLen:     14,
+			Mix:             jitterMix(s.BaseMix, h>>8),
+			Pattern:         s.phasePattern(i, h, scale.CacheDivs.L3),
+			JumpPermille:    jitterPermille(s.JumpPermille, h>>24),
+			ShareBlocksWith: -1,
+		}
+		// Roughly a third of phases share a couple of blocks with phase 0,
+		// modelling common library code.
+		if i > 0 && (h>>40)%10 < 3 {
+			specs[i].ShareBlocksWith = 0
+			specs[i].ShareCount = 2
+		}
+	}
+
+	sched := buildSchedule(weights, total, s.Seed, 4*scale.SliceLen)
+	return program.BuildProgram(s.Name, s.Seed, specs, sched)
+}
+
+// phasePattern derives phase i's memory pattern from the benchmark
+// profile. Working-set and streaming-region sizes are divided by wsDiv —
+// the scale's LLC divisor — so footprint-to-cache ratios match the paper's
+// machine regardless of scale.
+func (s Spec) phasePattern(i int, h uint64, wsDiv uint64) program.MemPattern {
+	if wsDiv == 0 {
+		wsDiv = 1
+	}
+	ws := logInterp(s.Mem.MinWS, s.Mem.MaxWS, float64((h>>16)%1024)/1023) / wsDiv
+	// Round the working set to 64 bytes.
+	ws = ws &^ 63
+	if ws < 2048 {
+		ws = 2048
+	}
+	seq := 550 + uint32((h>>32)%300) // 55-85 % sequential
+	stream := s.Mem.StreamPermille
+	if stream > 0 {
+		stream = jitterPermille(stream, h>>48)
+	}
+	if seq+stream > 950 {
+		seq = 950 - stream
+	}
+	streamBytes := uint64(256<<20) / wsDiv
+	if streamBytes < 1<<20 {
+		streamBytes = 1 << 20
+	}
+	return program.MemPattern{
+		Base:            (uint64(i) + 1) << 26, // 64 MB apart per phase
+		WorkingSetBytes: ws,
+		Stride:          s.Mem.Stride,
+		SeqPermille:     seq,
+		StreamPermille:  stream,
+		StreamBase:      1 << 40,
+		StreamBytes:     streamBytes,
+	}
+}
+
+// solveWeights produces n descending weights summing to 1 such that the
+// smallest prefix reaching 0.9 has approximately n90 elements. Weights are
+// geometric (w_i ∝ r^i); r is found by bisection on the prefix count. When
+// dominant > 0, the first weight is pinned and the remaining mass decays
+// geometrically so that n90-1 further phases complete the 0.9 prefix.
+func solveWeights(n, n90 int, dominant float64) []float64 {
+	if n == 1 {
+		return []float64{1}
+	}
+	if dominant > 0 {
+		rest := solveWeightsPlain(n-1, maxInt(1, n90-1), (0.9-dominant)/(1-dominant))
+		out := make([]float64, 0, n)
+		out = append(out, dominant)
+		for _, w := range rest {
+			out = append(out, w*(1-dominant))
+		}
+		return out
+	}
+	return solveWeightsPlain(n, n90, 0.9)
+}
+
+// solveWeightsPlain finds geometric weights over n phases whose smallest
+// prefix reaching `target` mass has n90 elements.
+func solveWeightsPlain(n, n90 int, target float64) []float64 {
+	if n90 >= n {
+		// Uniform is the flattest possible; prefix to target is ~target*n.
+		return geometric(n, 1)
+	}
+	lo, hi := 0.05, 1.0
+	for iter := 0; iter < 60; iter++ {
+		r := (lo + hi) / 2
+		m := prefixCount(geometric(n, r), target)
+		switch {
+		case m > n90:
+			hi = r // too flat; skew more
+		case m < n90:
+			lo = r // too skewed; flatten
+		default:
+			return geometric(n, r)
+		}
+	}
+	return geometric(n, (lo+hi)/2)
+}
+
+// geometric returns n weights ∝ r^i, normalised, descending.
+func geometric(n int, r float64) []float64 {
+	w := make([]float64, n)
+	cur, sum := 1.0, 0.0
+	for i := range w {
+		w[i] = cur
+		sum += cur
+		cur *= r
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// prefixCount returns the smallest number of leading (descending) weights
+// whose sum reaches target.
+func prefixCount(w []float64, target float64) int {
+	sorted := append([]float64(nil), w...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	acc := 0.0
+	for i, v := range sorted {
+		acc += v
+		if acc >= target-1e-12 {
+			return i + 1
+		}
+	}
+	return len(sorted)
+}
+
+// floorWeights raises every weight to at least floor and renormalises,
+// preserving the descending order.
+func floorWeights(w []float64, floor float64) []float64 {
+	if floor <= 0 || floor*float64(len(w)) >= 1 {
+		return w
+	}
+	out := make([]float64, len(w))
+	var excess, flex float64
+	for i, v := range w {
+		if v < floor {
+			out[i] = floor
+			excess += floor - v
+		} else {
+			out[i] = v
+			flex += v - floor
+		}
+	}
+	if flex <= 0 {
+		return out
+	}
+	// Take the excess proportionally from the weights above the floor.
+	for i := range out {
+		if out[i] > floor {
+			out[i] -= excess * (out[i] - floor) / flex
+		}
+	}
+	return out
+}
+
+// buildSchedule interleaves phase visits: each phase's instruction budget is
+// split across several recurrences (more for heavier phases), and rounds
+// emit segments in a hash-shuffled phase order — producing the scattered,
+// recurrent phase behaviour SimPoint exploits.
+func buildSchedule(weights []float64, total uint64, seed uint64, minSeg uint64) []program.Segment {
+	n := len(weights)
+	budget := make([]uint64, n)
+	visits := make([]int, n)
+	prefSeg := total / 120
+	if prefSeg < minSeg {
+		prefSeg = minSeg
+	}
+	for i, w := range weights {
+		budget[i] = uint64(w * float64(total))
+		if budget[i] < minSeg {
+			budget[i] = minSeg
+		}
+		v := int(budget[i] / prefSeg)
+		if v < 1 {
+			v = 1
+		}
+		if v > 10 {
+			v = 10
+		}
+		visits[i] = v
+	}
+
+	maxVisits := 0
+	for _, v := range visits {
+		if v > maxVisits {
+			maxVisits = v
+		}
+	}
+
+	var sched []program.Segment
+	for round := 0; round < maxVisits; round++ {
+		order := shuffledOrder(n, seed^uint64(round)*0x9e3779b97f4a7c15)
+		for _, ph := range order {
+			if round >= visits[ph] {
+				continue
+			}
+			seg := budget[ph] / uint64(visits[ph])
+			if round == visits[ph]-1 {
+				// Last visit takes the remainder.
+				seg = budget[ph] - seg*uint64(visits[ph]-1)
+			}
+			if seg == 0 {
+				continue
+			}
+			sched = append(sched, program.Segment{Phase: ph, Instrs: seg})
+		}
+	}
+	return sched
+}
+
+// shuffledOrder returns a deterministic permutation of 0..n-1.
+func shuffledOrder(n int, seed uint64) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Fisher-Yates with hashed draws.
+	for i := n - 1; i > 0; i-- {
+		j := int(phaseHash(seed, i) % uint64(i+1))
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// jitterMix perturbs each mix category by up to ±20 % deterministically.
+func jitterMix(base [4]float64, h uint64) [4]float64 {
+	var out [4]float64
+	for i := range base {
+		f := 0.8 + 0.4*float64((h>>(8*i))&0xff)/255
+		out[i] = base[i] * f
+	}
+	return out
+}
+
+// jitterPermille perturbs a permille value by up to ±50 %, clamped to
+// [1, 900].
+func jitterPermille(base uint32, h uint64) uint32 {
+	f := 0.5 + float64(h&0xff)/255
+	v := uint32(float64(base) * f)
+	if v < 1 {
+		v = 1
+	}
+	if v > 900 {
+		v = 900
+	}
+	return v
+}
+
+// logInterp interpolates log-uniformly between lo and hi.
+func logInterp(lo, hi uint64, t float64) uint64 {
+	if lo == 0 {
+		lo = 1
+	}
+	if hi <= lo {
+		return lo
+	}
+	ratio := float64(hi) / float64(lo)
+	return uint64(float64(lo) * math.Pow(ratio, t))
+}
+
+func phaseHash(seed uint64, i int) uint64 {
+	x := seed ^ uint64(i)*0x9e3779b97f4a7c15
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,315 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"specsampling/internal/pin"
+	"specsampling/internal/pintool"
+)
+
+func TestSuiteMatchesTableII(t *testing.T) {
+	s := Suite()
+	if len(s) != 29 {
+		t.Fatalf("suite has %d benchmarks, Table II lists 29", len(s))
+	}
+	var sumPts, sum90 int
+	for _, b := range s {
+		if b.Phases <= 0 || b.Phases90 <= 0 || b.Phases90 > b.Phases {
+			t.Errorf("%s: bad phase counts %d/%d", b.Name, b.Phases, b.Phases90)
+		}
+		sumPts += b.Phases
+		sum90 += b.Phases90
+	}
+	avgPts := float64(sumPts) / float64(len(s))
+	avg90 := float64(sum90) / float64(len(s))
+	// Table II averages: 19.75 and 11.31.
+	if math.Abs(avgPts-19.75) > 0.01 {
+		t.Errorf("average simulation points = %v, Table II says 19.75", avgPts)
+	}
+	if math.Abs(avg90-11.31) > 0.01 {
+		t.Errorf("average 90th-percentile points = %v, Table II says 11.31", avg90)
+	}
+}
+
+func TestSpecificTableIIRows(t *testing.T) {
+	rows := map[string][2]int{
+		"500.perlbench_r": {18, 11},
+		"502.gcc_r":       {27, 15},
+		"520.omnetpp_r":   {4, 3},
+		"620.omnetpp_s":   {3, 2},
+		"623.xalancbmk_s": {25, 19},
+		"503.bwaves_r":    {26, 7},
+		"507.cactuBSSN_r": {25, 4},
+		"549.fotonik3d_r": {27, 11},
+	}
+	for name, want := range rows {
+		b, err := ByName(name)
+		if err != nil {
+			t.Errorf("%s missing: %v", name, err)
+			continue
+		}
+		if b.Phases != want[0] || b.Phases90 != want[1] {
+			t.Errorf("%s: phases %d/%d, Table II says %d/%d",
+				name, b.Phases, b.Phases90, want[0], want[1])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("623.xalancbmk_s"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("xalancbmk_s"); err != nil {
+		t.Error("short name lookup failed")
+	}
+	if _, err := ByName("999.nonesuch"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != 29 {
+		t.Fatalf("%d names", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate name %s", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"full", "medium", "small"} {
+		s, err := ScaleByName(name)
+		if err != nil {
+			t.Errorf("ScaleByName(%s): %v", name, err)
+		}
+		if s.Name != name {
+			t.Errorf("scale name %q", s.Name)
+		}
+	}
+	if _, err := ScaleByName("huge"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestScaleFromEnv(t *testing.T) {
+	t.Setenv("SPECSIM_SCALE", "medium")
+	if s := ScaleFromEnv(ScaleSmall); s.Name != "medium" {
+		t.Errorf("env scale not honoured: %s", s.Name)
+	}
+	t.Setenv("SPECSIM_SCALE", "bogus")
+	if s := ScaleFromEnv(ScaleSmall); s.Name != "small" {
+		t.Errorf("bogus env should fall back to default: %s", s.Name)
+	}
+}
+
+func TestSliceLenForPaperSize(t *testing.T) {
+	// 15M paper slice = half the 30M default.
+	if got := ScaleFull.SliceLenForPaperSize(15_000_000); got != ScaleFull.SliceLen/2 {
+		t.Errorf("15M slice = %d, want %d", got, ScaleFull.SliceLen/2)
+	}
+	if got := ScaleFull.SliceLenForPaperSize(100_000_000); got <= ScaleFull.SliceLen {
+		t.Errorf("100M slice = %d, should exceed the default", got)
+	}
+	if got := ScaleSmall.SliceLenForPaperSize(1); got < 64 {
+		t.Errorf("tiny slice not floored: %d", got)
+	}
+}
+
+func TestTargetWeights(t *testing.T) {
+	for _, b := range Suite() {
+		w := b.TargetWeights()
+		if len(w) != b.Phases {
+			t.Fatalf("%s: %d weights for %d phases", b.Name, len(w), b.Phases)
+		}
+		var sum float64
+		for i, v := range w {
+			if v <= 0 {
+				t.Fatalf("%s: weight %d is %v", b.Name, i, v)
+			}
+			if i > 0 && v > w[i-1]+1e-12 {
+				t.Fatalf("%s: weights not descending at %d", b.Name, i)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s: weights sum to %v", b.Name, sum)
+		}
+		// The designed 90th-percentile prefix must match Table II within 1.
+		got := prefixCount(w, 0.9)
+		if d := got - b.Phases90; d < -1 || d > 1 {
+			t.Errorf("%s: weight prefix to 0.9 = %d, Table II says %d", b.Name, got, b.Phases90)
+		}
+	}
+}
+
+func TestBwavesDominantPhase(t *testing.T) {
+	b, err := ByName("503.bwaves_r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := b.TargetWeights()
+	if w[0] < 0.55 {
+		t.Errorf("bwaves_r dominant weight = %v, paper reports ~0.60", w[0])
+	}
+	top3 := w[0] + w[1] + w[2]
+	if top3 < 0.70 || top3 > 0.92 {
+		t.Errorf("bwaves_r top-3 weight = %v, paper reports ~0.80", top3)
+	}
+}
+
+func TestBuildAllBenchmarksSmall(t *testing.T) {
+	for _, b := range Suite() {
+		p, err := b.Build(ScaleSmall)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if len(p.Phases) != b.Phases {
+			t.Errorf("%s: program has %d phases, want %d", b.Name, len(p.Phases), b.Phases)
+		}
+		if p.TotalInstrs() == 0 {
+			t.Errorf("%s: empty program", b.Name)
+		}
+		// Every phase must appear in the schedule.
+		seen := make([]bool, len(p.Phases))
+		for _, seg := range p.Schedule {
+			seen[seg.Phase] = true
+		}
+		for i, ok := range seen {
+			if !ok {
+				t.Errorf("%s: phase %d never scheduled", b.Name, i)
+			}
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	b, _ := ByName("505.mcf_r")
+	p1, err := b.Build(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := b.Build(ScaleSmall)
+	if p1.NumBlocks() != p2.NumBlocks() || len(p1.Schedule) != len(p2.Schedule) {
+		t.Fatal("same spec built different programs")
+	}
+	for i := range p1.Schedule {
+		if p1.Schedule[i] != p2.Schedule[i] {
+			t.Fatal("schedules differ")
+		}
+	}
+}
+
+func TestBuildRunsAndMixIsPlausible(t *testing.T) {
+	b, _ := ByName("623.xalancbmk_s")
+	p, err := b.Build(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := pin.NewEngine(p)
+	mix := pintool.NewLdStMix()
+	if err := e.Attach(mix); err != nil {
+		t.Fatal(err)
+	}
+	e.RunToEnd()
+	fr := mix.Fractions()
+	// Whole-suite paper averages are 49.1/36.7/12.9; individual benchmarks
+	// scatter, so assert loose plausibility.
+	if fr[0] < 0.30 || fr[0] > 0.75 {
+		t.Errorf("NO_MEM share = %v", fr[0])
+	}
+	if fr[1] < 0.15 || fr[1] > 0.55 {
+		t.Errorf("MEM_R share = %v", fr[1])
+	}
+	if fr[2] < 0.04 || fr[2] > 0.30 {
+		t.Errorf("MEM_W share = %v", fr[2])
+	}
+}
+
+func TestPhaseWeightsApproximateTargets(t *testing.T) {
+	// The realised schedule weights should track the designed weights for
+	// the heavy phases (floors distort the tail).
+	b, _ := ByName("503.bwaves_r")
+	p, err := b.Build(ScaleMedium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.PhaseWeights()
+	want := b.TargetWeights()
+	if math.Abs(got[0]-want[0]) > 0.08 {
+		t.Errorf("dominant phase realised weight %v vs designed %v", got[0], want[0])
+	}
+}
+
+func TestScaledInstrs(t *testing.T) {
+	b, _ := ByName("502.gcc_r")
+	full := b.ScaledInstrs(ScaleFull)
+	small := b.ScaledInstrs(ScaleSmall)
+	if full != b.WholeInstrs {
+		t.Errorf("full scale changed length: %d vs %d", full, b.WholeInstrs)
+	}
+	if small >= full {
+		t.Error("small scale is not smaller")
+	}
+	if small < 40*ScaleSmall.SliceLen {
+		t.Errorf("small scale below the slice floor: %d", small)
+	}
+}
+
+func TestSolveWeightsEdgeCases(t *testing.T) {
+	if w := solveWeights(1, 1, 0); len(w) != 1 || w[0] != 1 {
+		t.Errorf("single phase weights = %v", w)
+	}
+	// n90 == n forces uniform.
+	w := solveWeights(5, 5, 0)
+	for _, v := range w {
+		if math.Abs(v-0.2) > 1e-9 {
+			t.Errorf("uniform weights = %v", w)
+			break
+		}
+	}
+}
+
+func TestFloorWeights(t *testing.T) {
+	w := []float64{0.7, 0.2, 0.06, 0.03, 0.01}
+	out := floorWeights(w, 0.05)
+	var sum float64
+	for i, v := range out {
+		if v < 0.05-1e-12 {
+			t.Errorf("weight %d below floor: %v", i, v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("floored weights sum to %v", sum)
+	}
+	// Degenerate floor is a no-op.
+	same := floorWeights(w, 0.5)
+	if &same[0] == &w[0] {
+		// returned as-is is fine; just ensure content preserved
+		_ = same
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if IntRate.String() != "SPECrate INT" || FPRate.String() != "SPECrate FP" {
+		t.Error("class names wrong")
+	}
+	if IntSpeed.String() != "SPECspeed INT" || FPSpeed.String() != "SPECspeed FP" {
+		t.Error("class names wrong")
+	}
+}
+
+func TestShortName(t *testing.T) {
+	if shortName("623.xalancbmk_s") != "xalancbmk_s" {
+		t.Error("shortName failed")
+	}
+	if shortName("nodot") != "nodot" {
+		t.Error("shortName without dot failed")
+	}
+}
