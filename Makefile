@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+## check: the pre-commit gate — vet, build, then the full suite under -race.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: one testing.B benchmark per paper table/figure, single iteration.
+bench:
+	$(GO) test -bench=. -benchtime=1x .

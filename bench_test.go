@@ -16,10 +16,14 @@ package specsampling
 import (
 	"io"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
 	"specsampling/internal/experiments"
+	"specsampling/internal/kmeans"
+	"specsampling/internal/rng"
+	"specsampling/internal/simpoint"
 	"specsampling/internal/workload"
 )
 
@@ -244,6 +248,123 @@ func BenchmarkFig10(b *testing.B) {
 		if regional > 0 {
 			b.ReportMetric(whole/regional, "L3-access-reduction-x")
 		}
+	}
+}
+
+// ------------------------------------------------- pipeline kernels --
+
+// clusterPoints generates a deterministic point cloud shaped like a
+// projected BBV trace: N points in D dimensions scattered around K centres.
+func clusterPoints(n, d, k int, seed uint64) [][]float64 {
+	r := rng.New(seed)
+	centres := make([][]float64, k)
+	for c := range centres {
+		centres[c] = make([]float64, d)
+		for j := range centres[c] {
+			centres[c][j] = r.Float64() * 10
+		}
+	}
+	points := make([][]float64, n)
+	for i := range points {
+		cent := centres[i%k]
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = cent[j] + r.NormFloat64()*0.3
+		}
+		points[i] = p
+	}
+	return points
+}
+
+// BenchmarkKMeansRun measures the clustering kernel at the pipeline's
+// worst-case shape (the paper's MaxK=35 on a long trace): serial vs all
+// cores. Results are identical for every worker count.
+func BenchmarkKMeansRun(b *testing.B) {
+	const n, d, k = 4096, 32, 35
+	points := clusterPoints(n, d, k, 1)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", runtime.NumCPU()},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := kmeans.DefaultConfig(42)
+			cfg.SampleSize = 0 // cluster the full set: this is the kernel benchmark
+			cfg.Workers = bc.workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := kmeans.Run(points, k, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.K == 0 {
+					b.Fatal("empty clustering")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkProfile measures the BBV profiling pass (pipeline step 1) on one
+// built benchmark.
+func BenchmarkProfile(b *testing.B) {
+	scale := workload.ScaleFromEnv(workload.ScaleSmall)
+	spec, err := workload.ByName("623.xalancbmk_s")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := spec.Build(scale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slices, total, err := simpoint.Profile(prog, scale.SliceLen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(slices) == 0 || total == 0 {
+			b.Fatal("empty profile")
+		}
+	}
+}
+
+// BenchmarkSuiteAnalyze measures the suite-level fan-out: a fresh Runner
+// prewarms every per-benchmark analysis, serial vs all cores. This is the
+// dominant cost of `experiments -run all`; on a multi-core machine the
+// parallel variant should approach a NumCPU-fold speedup.
+func BenchmarkSuiteAnalyze(b *testing.B) {
+	scale := workload.ScaleFromEnv(workload.ScaleSmall)
+	benches := benchSubset
+	if os.Getenv("SPECSIM_ALL") != "" {
+		benches = nil
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", runtime.NumCPU()},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.New(experiments.Options{
+					Scale:      scale,
+					Benchmarks: benches,
+					Workers:    bc.workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := r.Prewarm("all"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

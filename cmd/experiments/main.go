@@ -9,12 +9,18 @@
 // Scale "full" runs the complete suite at the fidelity used for
 // EXPERIMENTS.md (minutes); "medium" (default) is a few times faster;
 // "small" is for quick smoke runs.
+//
+// The suite pipeline is parallel: -workers (default: the machine's CPU
+// count) bounds the fan-out of per-benchmark analyses, figure loops,
+// clustering and replay. Every reported number is identical for any worker
+// count — parallelism only changes wall-clock time.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -34,7 +40,10 @@ func run(args []string) error {
 	id := fs.String("run", "all", "experiment id: "+strings.Join(experiments.IDs(), ", ")+" or all")
 	scaleName := fs.String("scale", "medium", "workload scale: full, medium or small (env SPECSIM_SCALE overrides)")
 	benches := fs.String("bench", "", "comma-separated benchmark subset (default: all 29)")
-	workers := fs.Int("workers", 0, "parallel replay workers (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", runtime.NumCPU(),
+		"worker goroutines for the suite pipeline: per-benchmark analyses, figure loops, "+
+			"clustering and pinball replay all fan out across this budget "+
+			"(results are identical for any value; <= 0 means GOMAXPROCS)")
 	jsonPath := fs.String("json", "", "also write structured results as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err

@@ -6,7 +6,7 @@
 //
 //	specsim list
 //	specsim run -bench 505.mcf_r [-scale medium] [-instrs N]
-//	specsim phases -bench 503.bwaves_r [-scale medium] [-width 100]
+//	specsim phases -bench 503.bwaves_r [-scale medium] [-width 100] [-workers N]
 package main
 
 import (

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"runtime"
 
 	"specsampling/internal/bbv"
 	"specsampling/internal/core"
@@ -22,6 +23,8 @@ func phasesCmd(args []string) error {
 	bench := fs.String("bench", "", "benchmark name")
 	scaleName := fs.String("scale", "medium", "workload scale")
 	width := fs.Int("width", 100, "timeline width in characters")
+	workers := fs.Int("workers", runtime.NumCPU(),
+		"worker goroutines for clustering and replay (results are identical for any value; <= 0 means GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -36,7 +39,9 @@ func phasesCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	an, err := core.Analyze(spec, core.DefaultConfig(scale))
+	acfg := core.DefaultConfig(scale)
+	acfg.Workers = *workers
+	an, err := core.Analyze(spec, acfg)
 	if err != nil {
 		return err
 	}
@@ -76,7 +81,9 @@ func phasesCmd(args []string) error {
 	for b := 0; b < *width; b++ {
 		lo := b * len(an.Slices) / *width
 		hi := (b + 1) * len(an.Slices) / *width
-		counts := map[int]int{}
+		// Count per cluster index (not a map: ties must break towards the
+		// lowest cluster so the timeline is identical on every run).
+		counts := make([]int, len(centroids))
 		for i := lo; i < hi; i++ {
 			counts[assign[i]]++
 		}

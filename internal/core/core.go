@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"specsampling/internal/cache"
+	"specsampling/internal/kmeans"
 	"specsampling/internal/pinball"
 	"specsampling/internal/program"
 	"specsampling/internal/simpoint"
@@ -64,6 +65,11 @@ func (c Config) simpointConfig() simpoint.Config {
 	if c.Seed != 0 {
 		sp.Seed = c.Seed
 	}
+	// Hand the worker budget to the clustering engine. The explicit config
+	// matches what simpoint would default to, plus Workers; k-means results
+	// are identical for every worker count.
+	sp.KMeans = kmeans.DefaultConfig(sp.Seed)
+	sp.KMeans.Workers = c.Workers
 	return sp
 }
 

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+
+	"specsampling/internal/workload"
+)
+
+// The suite pipeline's contract: every deterministic reported value is
+// byte-identical for any worker count and across repeated runs. Wall-clock
+// measurements (Fig5 run times, Fig9 replay times) are excluded — they are
+// the only fields parallelism is allowed to change.
+
+// figureSnapshot runs the deterministic figures on a fresh runner and
+// returns a canonical JSON rendition with the wall-clock fields zeroed.
+func figureSnapshot(t *testing.T, workers int) string {
+	t.Helper()
+	r, err := New(Options{
+		Scale:      workload.ScaleSmall,
+		Benchmarks: []string{"520.omnetpp_r", "505.mcf_r", "503.bwaves_r"},
+		Workers:    workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Prewarm("all"); err != nil {
+		t.Fatal(err)
+	}
+
+	tableII, err := r.TableII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig5, err := r.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay times are measurements; blank them before comparing.
+	fig5 = &Fig5Result{
+		Rows:                        append([]Fig5Row(nil), fig5.Rows...),
+		SuiteInstrReductionRegional: fig5.SuiteInstrReductionRegional,
+		SuiteInstrReductionReduced:  fig5.SuiteInstrReductionReduced,
+	}
+	for i := range fig5.Rows {
+		fig5.Rows[i].Comparison.WholeTime = 0
+		fig5.Rows[i].Comparison.RegionalTime = 0
+		fig5.Rows[i].Comparison.ReducedTime = 0
+	}
+	fig6, err := r.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig7, err := r.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig8, err := r.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig9, err := r.Fig9(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig9 = append([]Fig9Point(nil), fig9...)
+	for i := range fig9 {
+		fig9[i].ReplayTime = 0
+	}
+	fig12, err := r.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	blob, err := json.Marshal(map[string]interface{}{
+		"tableII": tableII,
+		"fig5":    fig5,
+		"fig6":    fig6,
+		"fig7":    fig7,
+		"fig8":    fig8,
+		"fig9":    fig9,
+		"fig12":   fig12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}
+
+func TestFiguresIdenticalAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep in -short mode")
+	}
+	serial := figureSnapshot(t, 1)
+	parallel := figureSnapshot(t, 8)
+	if serial != parallel {
+		t.Fatalf("figures differ between Workers=1 and Workers=8:\nserial:   %.400s\nparallel: %.400s",
+			serial, parallel)
+	}
+	repeat := figureSnapshot(t, 8)
+	if parallel != repeat {
+		t.Fatal("figures differ across repeated Workers=8 runs")
+	}
+}

@@ -4,18 +4,28 @@
 // prints the same rows the paper reports). A Runner caches the expensive
 // per-benchmark analyses so the figures that share them (5-10, 12) pay the
 // profiling cost once.
+//
+// The suite pipeline is parallel at two layers: per-benchmark passes inside
+// each figure fan out across Options.Workers goroutines (results are
+// collected into index-addressed slices, so output order and every reported
+// aggregate are identical for any worker count), and the underlying
+// analysis/whole-profile caches are singleflight groups, so concurrent
+// figures never duplicate an expensive core.Analyze pass.
 package experiments
 
 import (
 	"fmt"
 	"io"
-	"sync"
 
 	"specsampling/internal/cache"
 	"specsampling/internal/core"
+	"specsampling/internal/sched"
 	"specsampling/internal/timing"
 	"specsampling/internal/workload"
 )
+
+// fig3Benchmark is the subject of the paper's Figure 3 sensitivity studies.
+const fig3Benchmark = "623.xalancbmk_s"
 
 // Options configures a Runner.
 type Options struct {
@@ -23,7 +33,9 @@ type Options struct {
 	Scale workload.Scale
 	// Benchmarks restricts the suite (full names); empty means all 29.
 	Benchmarks []string
-	// Workers bounds parallel replay per analysis.
+	// Workers bounds the suite-level fan-out (per-benchmark analyses and
+	// figure loops) and the parallel replay within each analysis; <= 0 uses
+	// GOMAXPROCS. All results are identical for every worker count.
 	Workers int
 	// Out receives the text renditions; nil discards them.
 	Out io.Writer
@@ -34,11 +46,12 @@ type Runner struct {
 	opts  Options
 	specs []workload.Spec
 
-	mu       sync.Mutex
-	analyses map[string]*core.Analysis
-	wholeC   map[string]core.CacheProfile
-	wholeM   map[string]core.MixProfile
-	fig8     *Fig8Result
+	// Singleflight caches: concurrent figures requesting the same
+	// benchmark share one computation instead of duplicating it.
+	analyses sched.Group[string, *core.Analysis]
+	wholeC   sched.Group[string, core.CacheProfile]
+	wholeM   sched.Group[string, core.MixProfile]
+	fig8     sched.Group[struct{}, *Fig8Result]
 }
 
 // New builds a runner. Unknown benchmark names are reported immediately.
@@ -58,13 +71,7 @@ func New(opts Options) (*Runner, error) {
 			specs = append(specs, s)
 		}
 	}
-	return &Runner{
-		opts:     opts,
-		specs:    specs,
-		analyses: map[string]*core.Analysis{},
-		wholeC:   map[string]core.CacheProfile{},
-		wholeM:   map[string]core.MixProfile{},
-	}, nil
+	return &Runner{opts: opts, specs: specs}, nil
 }
 
 // Scale returns the runner's workload scale.
@@ -84,56 +91,45 @@ func (r *Runner) TimingConfig() timing.Config {
 	return timing.ScaledConfig(timing.TableIIIConfig(), r.opts.Scale.CacheDivs)
 }
 
-// analysis returns (and caches) the benchmark's SimPoint analysis.
+// workers resolves the runner's worker budget.
+func (r *Runner) workers() int { return sched.Workers(r.opts.Workers) }
+
+// forEachSpec fans fn out over the selected benchmarks across the worker
+// budget. fn receives the benchmark's suite index so it can write results
+// into index-addressed slots, keeping output order schedule-independent.
+func (r *Runner) forEachSpec(fn func(i int, spec workload.Spec) error) error {
+	return sched.ForEach(r.workers(), len(r.specs), func(i int) error {
+		return fn(i, r.specs[i])
+	})
+}
+
+// analysis returns (and caches) the benchmark's SimPoint analysis. The
+// compute is wrapped in a per-key singleflight, so two figures racing for
+// the same benchmark run core.Analyze once and share the result.
 func (r *Runner) analysis(spec workload.Spec) (*core.Analysis, error) {
-	r.mu.Lock()
-	an, ok := r.analyses[spec.Name]
-	r.mu.Unlock()
-	if ok {
+	return r.analyses.Do(spec.Name, func() (*core.Analysis, error) {
+		cfg := core.DefaultConfig(r.opts.Scale)
+		cfg.Workers = r.opts.Workers
+		an, err := core.Analyze(spec, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: analyze %s: %w", spec.Name, err)
+		}
 		return an, nil
-	}
-	cfg := core.DefaultConfig(r.opts.Scale)
-	cfg.Workers = r.opts.Workers
-	an, err := core.Analyze(spec, cfg)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: analyze %s: %w", spec.Name, err)
-	}
-	r.mu.Lock()
-	r.analyses[spec.Name] = an
-	r.mu.Unlock()
-	return an, nil
+	})
 }
 
 // wholeCache returns (and caches) the benchmark's whole-run cache profile.
 func (r *Runner) wholeCache(an *core.Analysis) (core.CacheProfile, error) {
-	r.mu.Lock()
-	cp, ok := r.wholeC[an.Spec.Name]
-	r.mu.Unlock()
-	if ok {
-		return cp, nil
-	}
-	cp, err := an.WholeCache(r.CacheConfig())
-	if err != nil {
-		return core.CacheProfile{}, err
-	}
-	r.mu.Lock()
-	r.wholeC[an.Spec.Name] = cp
-	r.mu.Unlock()
-	return cp, nil
+	return r.wholeC.Do(an.Spec.Name, func() (core.CacheProfile, error) {
+		return an.WholeCache(r.CacheConfig())
+	})
 }
 
 // wholeMix returns (and caches) the benchmark's whole-run instruction mix.
 func (r *Runner) wholeMix(an *core.Analysis) core.MixProfile {
-	r.mu.Lock()
-	mp, ok := r.wholeM[an.Spec.Name]
-	r.mu.Unlock()
-	if ok {
-		return mp
-	}
-	mp = an.WholeMix()
-	r.mu.Lock()
-	r.wholeM[an.Spec.Name] = mp
-	r.mu.Unlock()
+	mp, _ := r.wholeM.Do(an.Spec.Name, func() (core.MixProfile, error) {
+		return an.WholeMix(), nil
+	})
 	return mp
 }
 
@@ -154,7 +150,84 @@ func IDs() []string {
 	}
 }
 
-// Run executes one experiment by id ("all" runs every one in paper order).
+// prewarmNeeds describes what one benchmark needs before the requested
+// experiments can run without recomputing anything.
+type prewarmNeeds struct {
+	spec       workload.Spec
+	mix, cache bool
+}
+
+// Prewarm precomputes, in parallel across the worker budget, every
+// per-benchmark analysis and whole-run profile the given experiment ids
+// will need ("all" expands to every experiment). Figures executed
+// afterwards find their inputs cached and only pay their own incremental
+// replay cost. Calling Prewarm is never required — the figure loops are
+// parallel and the caches are singleflight either way — but it front-loads
+// the dominant cost into one suite-wide fan-out.
+func (r *Runner) Prewarm(ids ...string) error {
+	var suite, suiteMix, suiteCache, fig3 bool
+	for _, id := range ids {
+		switch id {
+		case "all":
+			suite, suiteMix, suiteCache, fig3 = true, true, true, true
+		case "tableII", "fig4", "fig5", "fig6", "fig12":
+			suite = true
+		case "fig7":
+			suite, suiteMix = true, true
+		case "fig8", "fig10":
+			suite, suiteCache = true, true
+		case "fig9":
+			suite, suiteMix, suiteCache = true, true, true
+		case "fig3a", "fig3b":
+			fig3 = true
+		case "tableI", "tableIII":
+			// Pure configuration prints; nothing to warm.
+		default:
+			return fmt.Errorf("experiments: unknown experiment %q (want one of %v or all)", id, IDs())
+		}
+	}
+
+	var jobs []prewarmNeeds
+	if suite {
+		for _, spec := range r.specs {
+			jobs = append(jobs, prewarmNeeds{spec: spec, mix: suiteMix, cache: suiteCache})
+		}
+	}
+	if fig3 {
+		spec, err := workload.ByName(fig3Benchmark)
+		if err != nil {
+			return err
+		}
+		found := false
+		for i := range jobs {
+			if jobs[i].spec.Name == spec.Name {
+				jobs[i].mix, jobs[i].cache = true, true
+				found = true
+			}
+		}
+		if !found {
+			jobs = append(jobs, prewarmNeeds{spec: spec, mix: true, cache: true})
+		}
+	}
+	return sched.ForEach(r.workers(), len(jobs), func(i int) error {
+		job := jobs[i]
+		an, err := r.analysis(job.spec)
+		if err != nil {
+			return err
+		}
+		if job.mix {
+			r.wholeMix(an)
+		}
+		if !job.cache {
+			return nil
+		}
+		_, err = r.wholeCache(an)
+		return err
+	})
+}
+
+// Run executes one experiment by id ("all" prewarms the shared analyses in
+// parallel, then runs every experiment in paper order).
 func (r *Runner) Run(id string) error {
 	run := func(id string) error {
 		switch id {
@@ -168,10 +241,10 @@ func (r *Runner) Run(id string) error {
 			r.TableIII()
 			return nil
 		case "fig3a":
-			_, err := r.Fig3a("623.xalancbmk_s", nil)
+			_, err := r.Fig3a(fig3Benchmark, nil)
 			return err
 		case "fig3b":
-			_, err := r.Fig3b("623.xalancbmk_s", nil)
+			_, err := r.Fig3b(fig3Benchmark, nil)
 			return err
 		case "fig4":
 			_, err := r.Fig4(nil)
@@ -202,6 +275,9 @@ func (r *Runner) Run(id string) error {
 		}
 	}
 	if id == "all" {
+		if err := r.Prewarm("all"); err != nil {
+			return err
+		}
 		for _, each := range IDs() {
 			if err := run(each); err != nil {
 				return err

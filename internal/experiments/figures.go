@@ -120,16 +120,19 @@ func (r *Runner) Fig4(ks []int) (*Fig4Result, error) {
 		ks = []int{5, 10, 15, 20, 25, 30, 35}
 	}
 	res := &Fig4Result{Ks: ks, Variance: map[string]map[int]float64{}}
-	for _, spec := range r.specs {
+	sweeps := make([]map[int]float64, len(r.specs))
+	if err := r.forEachSpec(func(i int, spec workload.Spec) error {
 		an, err := r.analysis(spec)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		vs, err := an.VarianceSweep(ks)
-		if err != nil {
-			return nil, err
-		}
-		res.Variance[spec.Name] = vs
+		sweeps[i], err = an.VarianceSweep(ks)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	for i, spec := range r.specs {
+		res.Variance[spec.Name] = sweeps[i]
 	}
 	header := []string{"Benchmark"}
 	for _, k := range ks {
@@ -171,19 +174,25 @@ type Fig5Result struct {
 // Fig5 compares dynamic instruction counts and execution times of Whole,
 // Regional, and Reduced Regional runs for every selected benchmark.
 func (r *Runner) Fig5() (*Fig5Result, error) {
-	res := &Fig5Result{}
-	var wi, ri, di uint64
-	var wt, rt, dt time.Duration
-	for _, spec := range r.specs {
+	res := &Fig5Result{Rows: make([]Fig5Row, len(r.specs))}
+	if err := r.forEachSpec(func(i int, spec workload.Spec) error {
 		an, err := r.analysis(spec)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rc, err := an.CompareRuns(0.9)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, Fig5Row{Benchmark: spec.Name, Comparison: rc})
+		res.Rows[i] = Fig5Row{Benchmark: spec.Name, Comparison: rc}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var wi, ri, di uint64
+	var wt, rt, dt time.Duration
+	for _, row := range res.Rows {
+		rc := row.Comparison
 		wi += rc.WholeInstrs
 		ri += rc.RegionalInstrs
 		di += rc.ReducedInstrs
@@ -236,11 +245,11 @@ type Fig6Row struct {
 
 // Fig6 reports the weight of each simulation point per benchmark.
 func (r *Runner) Fig6() ([]Fig6Row, error) {
-	var rows []Fig6Row
-	for _, spec := range r.specs {
+	rows := make([]Fig6Row, len(r.specs))
+	if err := r.forEachSpec(func(i int, spec workload.Spec) error {
 		an, err := r.analysis(spec)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		weights := make([]float64, 0, an.Result.NumPoints())
 		for _, pt := range an.Result.Points {
@@ -256,7 +265,10 @@ func (r *Runner) Fig6() ([]Fig6Row, error) {
 				break
 			}
 		}
-		rows = append(rows, Fig6Row{Benchmark: spec.Name, Weights: weights, Count90: count90})
+		rows[i] = Fig6Row{Benchmark: spec.Name, Weights: weights, Count90: count90}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	t := textplot.NewTable("Benchmark", "Points", "90pct", "Top-1", "Top-3", "Weights (stacked)")
 	for _, row := range rows {
@@ -301,35 +313,42 @@ type Fig7Result struct {
 // Fig7 compares instruction distributions of Whole, Regional and Reduced
 // Regional runs for every selected benchmark.
 func (r *Runner) Fig7() (*Fig7Result, error) {
-	res := &Fig7Result{}
-	var regErr, redErr float64
-	var suiteMix [4]float64
-	var suiteInstrs float64
-	for _, spec := range r.specs {
+	res := &Fig7Result{Rows: make([]Fig7Row, len(r.specs))}
+	if err := r.forEachSpec(func(i int, spec workload.Spec) error {
 		an, err := r.analysis(spec)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := Fig7Row{Benchmark: spec.Name, Whole: r.wholeMix(an)}
 		pbs, err := an.Pinballs(an.Result, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if row.Regional, err = an.SampledMix(pbs); err != nil {
-			return nil, err
+			return err
 		}
 		reduced, err := an.Result.Reduce(0.9)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rpbs, err := an.Pinballs(reduced, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if row.Reduced, err = an.SampledMix(rpbs); err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, row)
+		res.Rows[i] = row
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	// Suite aggregation runs serially in suite order so the floating-point
+	// sums are identical for every worker count.
+	var regErr, redErr float64
+	var suiteMix [4]float64
+	var suiteInstrs float64
+	for _, row := range res.Rows {
 		regErr += mixAbsErrPct(row.Regional, row.Whole)
 		redErr += mixAbsErrPct(row.Reduced, row.Whole)
 		w := float64(row.Whole.Instrs)
@@ -407,71 +426,80 @@ type Fig8Result struct {
 // and Warmup Regional runs of every selected benchmark. The result is
 // cached; Fig10 shares it.
 func (r *Runner) Fig8() (*Fig8Result, error) {
-	r.mu.Lock()
-	cached := r.fig8
-	r.mu.Unlock()
-	if cached != nil {
-		return cached, nil
+	computed := false
+	res, err := r.fig8.Do(struct{}{}, func() (*Fig8Result, error) {
+		computed = true
+		res := &Fig8Result{Rows: make([]Fig8Row, len(r.specs))}
+		hier := r.CacheConfig()
+		if err := r.forEachSpec(func(i int, spec workload.Spec) error {
+			an, err := r.analysis(spec)
+			if err != nil {
+				return err
+			}
+			row := Fig8Row{Benchmark: spec.Name}
+			if row.Whole, err = r.wholeCache(an); err != nil {
+				return err
+			}
+			pbs, err := an.Pinballs(an.Result, 0)
+			if err != nil {
+				return err
+			}
+			if row.Regional, err = an.SampledCache(pbs, hier); err != nil {
+				return err
+			}
+			reduced, err := an.Result.Reduce(0.9)
+			if err != nil {
+				return err
+			}
+			rpbs, err := an.Pinballs(reduced, 0)
+			if err != nil {
+				return err
+			}
+			if row.Reduced, err = an.SampledCache(rpbs, hier); err != nil {
+				return err
+			}
+			wpbs, err := an.Pinballs(an.Result, DefaultWarmupSlices)
+			if err != nil {
+				return err
+			}
+			if row.Warmup, err = an.SampledCache(wpbs, hier); err != nil {
+				return err
+			}
+			res.Rows[i] = row
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		// Suite means accumulate serially in suite order so the reported
+		// diffs are identical for every worker count.
+		var regD, redD, warmD [3][]float64
+		for _, row := range res.Rows {
+			collect := func(dst *[3][]float64, cp core.CacheProfile) {
+				// Signed miss-rate differences in percentage points: relative
+				// differences explode when the whole-run rate is near zero.
+				dst[0] = append(dst[0], (cp.L1D-row.Whole.L1D)*100)
+				dst[1] = append(dst[1], (cp.L2-row.Whole.L2)*100)
+				dst[2] = append(dst[2], (cp.L3-row.Whole.L3)*100)
+			}
+			collect(&regD, row.Regional)
+			collect(&redD, row.Reduced)
+			collect(&warmD, row.Warmup)
+		}
+		for i := 0; i < 3; i++ {
+			res.RegionalDiff[i] = stats.Mean(finite(regD[i]))
+			res.ReducedDiff[i] = stats.Mean(finite(redD[i]))
+			res.WarmupDiff[i] = stats.Mean(finite(warmD[i]))
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	res := &Fig8Result{}
-	hier := r.CacheConfig()
-	var regD, redD, warmD [3][]float64
-	for _, spec := range r.specs {
-		an, err := r.analysis(spec)
-		if err != nil {
-			return nil, err
-		}
-		row := Fig8Row{Benchmark: spec.Name}
-		if row.Whole, err = r.wholeCache(an); err != nil {
-			return nil, err
-		}
-		pbs, err := an.Pinballs(an.Result, 0)
-		if err != nil {
-			return nil, err
-		}
-		if row.Regional, err = an.SampledCache(pbs, hier); err != nil {
-			return nil, err
-		}
-		reduced, err := an.Result.Reduce(0.9)
-		if err != nil {
-			return nil, err
-		}
-		rpbs, err := an.Pinballs(reduced, 0)
-		if err != nil {
-			return nil, err
-		}
-		if row.Reduced, err = an.SampledCache(rpbs, hier); err != nil {
-			return nil, err
-		}
-		wpbs, err := an.Pinballs(an.Result, DefaultWarmupSlices)
-		if err != nil {
-			return nil, err
-		}
-		if row.Warmup, err = an.SampledCache(wpbs, hier); err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, row)
-
-		collect := func(dst *[3][]float64, cp core.CacheProfile) {
-			// Signed miss-rate differences in percentage points: relative
-			// differences explode when the whole-run rate is near zero.
-			dst[0] = append(dst[0], (cp.L1D-row.Whole.L1D)*100)
-			dst[1] = append(dst[1], (cp.L2-row.Whole.L2)*100)
-			dst[2] = append(dst[2], (cp.L3-row.Whole.L3)*100)
-		}
-		collect(&regD, row.Regional)
-		collect(&redD, row.Reduced)
-		collect(&warmD, row.Warmup)
+	// Print only on the computing call: cached hits (e.g. Fig10 reusing the
+	// measurements) stay silent, as before.
+	if computed {
+		r.printFig8(res)
 	}
-	for i := 0; i < 3; i++ {
-		res.RegionalDiff[i] = stats.Mean(finite(regD[i]))
-		res.ReducedDiff[i] = stats.Mean(finite(redD[i]))
-		res.WarmupDiff[i] = stats.Mean(finite(warmD[i]))
-	}
-	r.mu.Lock()
-	r.fig8 = res
-	r.mu.Unlock()
-	r.printFig8(res)
 	return res, nil
 }
 
@@ -556,25 +584,34 @@ func (r *Runner) Fig9(percentiles []float64) ([]Fig9Point, error) {
 	for i, pct := range percentiles {
 		out[i].Percentile = pct
 	}
-	for _, spec := range r.specs {
+	// Per-benchmark sweeps run in parallel; each contributes one Fig9Point
+	// row per percentile, accumulated serially below in suite order.
+	type specSweep struct {
+		whole      core.MixProfile
+		wholeCache core.CacheProfile
+		pts        []core.PercentilePoint
+	}
+	sweeps := make([]specSweep, len(r.specs))
+	if err := r.forEachSpec(func(i int, spec workload.Spec) error {
 		an, err := r.analysis(spec)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		whole := r.wholeMix(an)
-		wholeCache, err := r.wholeCache(an)
-		if err != nil {
-			return nil, err
+		sweeps[i].whole = r.wholeMix(an)
+		if sweeps[i].wholeCache, err = r.wholeCache(an); err != nil {
+			return err
 		}
-		pts, err := an.PercentileSweep(percentiles, hier)
-		if err != nil {
-			return nil, err
-		}
-		for i, p := range pts {
-			out[i].MixErrPct += mixAbsErrPct(p.Mix, whole)
-			out[i].CacheErrPct[0] += absFinite((p.Cache.L1D - wholeCache.L1D) * 100)
-			out[i].CacheErrPct[1] += absFinite((p.Cache.L2 - wholeCache.L2) * 100)
-			out[i].CacheErrPct[2] += absFinite((p.Cache.L3 - wholeCache.L3) * 100)
+		sweeps[i].pts, err = an.PercentileSweep(percentiles, hier)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	for _, sw := range sweeps {
+		for i, p := range sw.pts {
+			out[i].MixErrPct += mixAbsErrPct(p.Mix, sw.whole)
+			out[i].CacheErrPct[0] += absFinite((p.Cache.L1D - sw.wholeCache.L1D) * 100)
+			out[i].CacheErrPct[1] += absFinite((p.Cache.L2 - sw.wholeCache.L2) * 100)
+			out[i].CacheErrPct[2] += absFinite((p.Cache.L3 - sw.wholeCache.L3) * 100)
 			out[i].ReplayTime += p.ReplayTime
 			out[i].Points += p.NumPoints
 		}
@@ -627,45 +664,50 @@ type Fig12Result struct {
 // Fig12 compares whole-program native execution (perf counters) against
 // Sniper running Regional and Reduced Regional pinballs, on CPI.
 func (r *Runner) Fig12() (*Fig12Result, error) {
-	res := &Fig12Result{}
+	res := &Fig12Result{Rows: make([]Fig12Row, len(r.specs))}
 	cfg := r.TimingConfig()
-	var natCPIs, regCPIs []float64
-	for _, spec := range r.specs {
+	if err := r.forEachSpec(func(i int, spec workload.Spec) error {
 		an, err := r.analysis(spec)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		nat, err := native.PerfStat(an.Prog, r.opts.Scale.CacheDivs, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pbs, err := an.Pinballs(an.Result, DefaultWarmupSlices)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		reg, err := an.SampledCPI(pbs, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		reduced, err := an.Result.Reduce(0.9)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rpbs, err := an.Pinballs(reduced, DefaultWarmupSlices)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		red, err := an.SampledCPI(rpbs, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row := Fig12Row{
+		res.Rows[i] = Fig12Row{
 			Benchmark:   spec.Name,
 			NativeCPI:   nat.CPI(),
 			RegionalCPI: reg.CPI,
 			ReducedCPI:  red.CPI,
 		}
-		res.Rows = append(res.Rows, row)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	// Suite averages and the correlation accumulate serially in suite order.
+	var natCPIs, regCPIs []float64
+	for _, row := range res.Rows {
 		natCPIs = append(natCPIs, row.NativeCPI)
 		regCPIs = append(regCPIs, row.RegionalCPI)
 		res.AvgCPIErrRegionalPct += stats.RelErrorPct(row.RegionalCPI, row.NativeCPI)

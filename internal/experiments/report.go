@@ -73,13 +73,13 @@ func (r *Runner) RunRecorded(id string, report *Report) error {
 			}
 			return err
 		case "fig3a":
-			res, err := r.Fig3a("623.xalancbmk_s", nil)
+			res, err := r.Fig3a(fig3Benchmark, nil)
 			if err == nil {
 				report.Record(id, res)
 			}
 			return err
 		case "fig3b":
-			res, err := r.Fig3b("623.xalancbmk_s", nil)
+			res, err := r.Fig3b(fig3Benchmark, nil)
 			if err == nil {
 				report.Record(id, res)
 			}
@@ -137,6 +137,9 @@ func (r *Runner) RunRecorded(id string, report *Report) error {
 		}
 	}
 	if id == "all" {
+		if err := r.Prewarm("all"); err != nil {
+			return err
+		}
 		for _, each := range IDs() {
 			if err := run(each); err != nil {
 				return err

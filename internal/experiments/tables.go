@@ -7,6 +7,7 @@ import (
 	"specsampling/internal/cache"
 	"specsampling/internal/textplot"
 	"specsampling/internal/timing"
+	"specsampling/internal/workload"
 )
 
 // TableI prints the paper's Table I (allcache configuration) together with
@@ -62,23 +63,26 @@ type TableIIResult struct {
 // tabulates the number of simulation points and 90th-percentile simulation
 // points (the paper's Table II).
 func (r *Runner) TableII() (*TableIIResult, error) {
-	res := &TableIIResult{}
-	for _, spec := range r.specs {
+	res := &TableIIResult{Rows: make([]TableIIRow, len(r.specs))}
+	if err := r.forEachSpec(func(i int, spec workload.Spec) error {
 		an, err := r.analysis(spec)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		reduced, err := an.Result.Reduce(0.9)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, TableIIRow{
+		res.Rows[i] = TableIIRow{
 			Benchmark:     spec.Name,
 			Points:        an.Result.NumPoints(),
 			Points90:      reduced.NumPoints(),
 			PaperPoints:   spec.Phases,
 			PaperPoints90: spec.Phases90,
-		})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	for _, row := range res.Rows {
 		res.AvgPoints += float64(row.Points)

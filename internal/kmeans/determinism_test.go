@@ -1,0 +1,130 @@
+package kmeans
+
+import (
+	"math"
+	"strconv"
+	"testing"
+)
+
+// The parallel kernels must be invisible in the results: same Config (modulo
+// Workers) means bitwise-identical Result for any worker count. This is the
+// contract that lets the suite pipeline fan out without perturbing a single
+// reported number.
+
+// requireIdentical asserts two results are bitwise equal (no tolerance:
+// determinism means identical floats, not close ones).
+func requireIdentical(t *testing.T, a, b *Result, label string) {
+	t.Helper()
+	if a.K != b.K {
+		t.Fatalf("%s: K %d != %d", label, a.K, b.K)
+	}
+	if math.Float64bits(a.WCSS) != math.Float64bits(b.WCSS) {
+		t.Fatalf("%s: WCSS %v != %v", label, a.WCSS, b.WCSS)
+	}
+	if len(a.Assign) != len(b.Assign) {
+		t.Fatalf("%s: assign lengths %d != %d", label, len(a.Assign), len(b.Assign))
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("%s: assign[%d] = %d != %d", label, i, a.Assign[i], b.Assign[i])
+		}
+	}
+	if len(a.Centroids) != len(b.Centroids) {
+		t.Fatalf("%s: centroid counts %d != %d", label, len(a.Centroids), len(b.Centroids))
+	}
+	for c := range a.Centroids {
+		for j := range a.Centroids[c] {
+			if math.Float64bits(a.Centroids[c][j]) != math.Float64bits(b.Centroids[c][j]) {
+				t.Fatalf("%s: centroid[%d][%d] %v != %v",
+					label, c, j, a.Centroids[c][j], b.Centroids[c][j])
+			}
+		}
+	}
+	for c := range a.Sizes {
+		if a.Sizes[c] != b.Sizes[c] {
+			t.Fatalf("%s: size[%d] %d != %d", label, c, a.Sizes[c], b.Sizes[c])
+		}
+	}
+}
+
+func TestRunIdenticalAcrossWorkerCounts(t *testing.T) {
+	// n*k*d is far above the parallel gate, so Workers>1 actually exercises
+	// the chunked assignment kernel.
+	points, _ := gaussianClusters(8, 128, 8, 0.4, 7)
+	base, err := Run(points, 8, DefaultConfig(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		cfg := DefaultConfig(99)
+		cfg.Workers = workers
+		res, err := Run(points, 8, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, base, res, "workers="+strconv.Itoa(workers))
+	}
+}
+
+func TestRunIdenticalAcrossRepeats(t *testing.T) {
+	points, _ := gaussianClusters(5, 100, 6, 0.5, 11)
+	cfg := DefaultConfig(3)
+	cfg.Workers = 4
+	first, err := Run(points, 5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 3; rep++ {
+		res, err := Run(points, 5, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, first, res, "repeat")
+	}
+}
+
+func TestBestKIdenticalAcrossWorkerCounts(t *testing.T) {
+	points, _ := gaussianClusters(4, 80, 6, 0.3, 13)
+	serial := DefaultConfig(21)
+	serial.Workers = 1
+	baseRes, baseBIC, err := BestK(points, 12, 0.9, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := DefaultConfig(21)
+	parallel.Workers = 8
+	res, bic, err := BestK(points, 12, 0.9, parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, baseRes, res, "bestk")
+	if len(bic) != len(baseBIC) {
+		t.Fatalf("BIC map sizes differ: %d != %d", len(bic), len(baseBIC))
+	}
+	for k, v := range baseBIC {
+		if math.Float64bits(bic[k]) != math.Float64bits(v) {
+			t.Fatalf("BIC[%d] %v != %v", k, bic[k], v)
+		}
+	}
+}
+
+func TestBestKWeightedIdenticalAcrossWorkerCounts(t *testing.T) {
+	points, _ := gaussianClusters(3, 60, 5, 0.4, 17)
+	weights := make([]float64, len(points))
+	for i := range weights {
+		weights[i] = 1 + float64(i%7)
+	}
+	serial := DefaultConfig(31)
+	serial.Workers = 1
+	baseRes, _, err := BestKWeighted(points, weights, 8, 0.9, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := DefaultConfig(31)
+	parallel.Workers = 8
+	res, _, err := BestKWeighted(points, weights, 8, 0.9, parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, baseRes, res, "bestk-weighted")
+}

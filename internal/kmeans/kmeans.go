@@ -2,13 +2,23 @@
 // group execution slices: Lloyd's algorithm with k-means++ seeding,
 // multiple restarts, and Bayesian Information Criterion (BIC) model
 // selection over k (Pelleg & Moore's x-means BIC, as adopted by SimPoint).
+//
+// The kernels operate on a flat row-major copy of the point set with
+// precomputed squared norms, reuse scratch buffers across Lloyd iterations
+// and restarts, and parallelise both the assignment step and the
+// independent candidate-k runs of BestK. Results are deterministic in the
+// configuration seed and, by construction, independent of Workers: every
+// per-point decision is computed from the same inputs regardless of how
+// points are partitioned across goroutines, and all floating-point
+// reductions (WCSS, centroid sums) happen in a fixed serial order.
 package kmeans
 
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
-	"specsampling/internal/bbv"
 	"specsampling/internal/rng"
 )
 
@@ -26,6 +36,10 @@ type Config struct {
 	// centroids. SimPoint supports the same optimisation for very long
 	// programs (tens of thousands of slices).
 	SampleSize int
+	// Workers bounds the parallelism of the assignment kernel and of
+	// BestK's candidate-k runs; <= 0 uses GOMAXPROCS. The result is
+	// identical for every worker count.
+	Workers int
 }
 
 // DefaultConfig returns the configuration used throughout the reproduction.
@@ -46,6 +60,169 @@ type Result struct {
 	Sizes []int
 	// WCSS is the total within-cluster sum of squared distances.
 	WCSS float64
+}
+
+// ------------------------------------------------------------- flat layout --
+
+// matrix is a flat row-major point set: row i is data[i*d : (i+1)*d].
+// norm[i] and snorm[i] hold ‖xᵢ‖² and ‖xᵢ‖, precomputed once so the
+// assignment kernel can expand ‖x−c‖² = ‖x‖² − 2·x·c + ‖c‖² and prune
+// candidate centroids with the norm lower bound (‖x‖−‖c‖)² ≤ ‖x−c‖².
+type matrix struct {
+	data  []float64
+	norm  []float64
+	snorm []float64
+	n, d  int
+}
+
+func (m *matrix) row(i int) []float64 { return m.data[i*m.d : (i+1)*m.d] }
+
+// flatten copies points into a matrix and precomputes the per-point norms.
+func flatten(points [][]float64) *matrix {
+	n, d := len(points), len(points[0])
+	m := &matrix{
+		data:  make([]float64, n*d),
+		norm:  make([]float64, n),
+		snorm: make([]float64, n),
+		n:     n,
+		d:     d,
+	}
+	for i, p := range points {
+		copy(m.data[i*d:], p)
+		var s float64
+		for _, x := range p {
+			s += x * x
+		}
+		m.norm[i] = s
+		m.snorm[i] = math.Sqrt(s)
+	}
+	return m
+}
+
+// gather builds the submatrix of rows idx.
+func (m *matrix) gather(idx []int) *matrix {
+	out := &matrix{
+		data:  make([]float64, len(idx)*m.d),
+		norm:  make([]float64, len(idx)),
+		snorm: make([]float64, len(idx)),
+		n:     len(idx),
+		d:     m.d,
+	}
+	for i, j := range idx {
+		copy(out.data[i*m.d:(i+1)*m.d], m.row(j))
+		out.norm[i] = m.norm[j]
+		out.snorm[i] = m.snorm[j]
+	}
+	return out
+}
+
+// scratch holds every buffer one Lloyd run needs; it is reused across
+// iterations and restarts so the inner loop performs no allocation.
+type scratch struct {
+	cents []float64 // k*d flat centroids
+	sums  []float64 // k*d accumulation buffer for the update step
+	cnorm []float64 // k: ‖c‖² per centroid
+	csqrt []float64 // k: ‖c‖ per centroid (pruning bound)
+	sizes []int     // k
+	assign []int    // n: current assignment
+	prev   []int    // n: previous iteration's assignment
+	minD   []float64 // n: distance to the assigned centroid
+	d2     []float64 // n: k-means++ D² weights
+}
+
+func newScratch(n, k, d int) *scratch {
+	return &scratch{
+		cents:  make([]float64, k*d),
+		sums:   make([]float64, k*d),
+		cnorm:  make([]float64, k),
+		csqrt:  make([]float64, k),
+		sizes:  make([]int, k),
+		assign: make([]int, n),
+		prev:   make([]int, n),
+		minD:   make([]float64, n),
+		d2:     make([]float64, n),
+	}
+}
+
+// minParallelOps gates the parallel assignment path: below this many
+// multiply-adds per pass the goroutine fan-out costs more than it saves.
+const minParallelOps = 1 << 15
+
+// parallelChunks splits [0, n) into contiguous chunks across workers.
+// Chunk boundaries affect only which goroutine computes an index, never the
+// value computed for it, so results are identical for every worker count.
+func parallelChunks(workers, n int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// assignPoints writes, for every point, the nearest centroid into sc.assign
+// and the (clamped non-negative) squared distance into sc.minD. Distances
+// use the expanded form ‖x‖² − 2·x·c + ‖c‖²; a centroid whose norm lower
+// bound (‖x‖−‖c‖)² cannot beat the best distance so far is pruned without
+// touching its coordinates. Ties keep the lowest centroid index.
+func assignPoints(m *matrix, sc *scratch, k, workers int) {
+	d := m.d
+	if workers > 1 && m.n*k*d < minParallelOps {
+		workers = 1
+	}
+	parallelChunks(workers, m.n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			px := m.row(i)
+			pn, ps := m.norm[i], m.snorm[i]
+			best, bestD := 0, math.MaxFloat64
+			for c := 0; c < k; c++ {
+				if lb := ps - sc.csqrt[c]; lb*lb >= bestD {
+					continue
+				}
+				row := sc.cents[c*d : (c+1)*d]
+				var dot float64
+				for j, x := range px {
+					dot += x * row[j]
+				}
+				if dist := pn - 2*dot + sc.cnorm[c]; dist < bestD {
+					best, bestD = c, dist
+				}
+			}
+			if bestD < 0 {
+				bestD = 0 // the expansion can go slightly negative at zero distance
+			}
+			sc.assign[i] = best
+			sc.minD[i] = bestD
+		}
+	})
+}
+
+// refreshCentroidNorms recomputes ‖c‖² and ‖c‖ for the first k centroids.
+func refreshCentroidNorms(sc *scratch, k, d int) {
+	for c := 0; c < k; c++ {
+		row := sc.cents[c*d : (c+1)*d]
+		var s float64
+		for _, x := range row {
+			s += x * x
+		}
+		sc.cnorm[c] = s
+		sc.csqrt[c] = math.Sqrt(s)
+	}
 }
 
 // Run clusters points into at most k groups. Points must be non-empty and
@@ -72,34 +249,43 @@ func Run(points [][]float64, k int, cfg Config) (*Result, error) {
 	if cfg.MaxIter <= 0 {
 		cfg.MaxIter = 40
 	}
+	workers := effectiveWorkers(cfg.Workers)
 
-	train := points
-	var sampleIdx []int
-	if cfg.SampleSize > 0 && cfg.SampleSize < len(points) {
-		sampleIdx = sampleIndices(len(points), cfg.SampleSize, cfg.Seed)
-		train = make([][]float64, len(sampleIdx))
-		for i, idx := range sampleIdx {
-			train[i] = points[idx]
+	m := flatten(points)
+	train := m
+	sampled := false
+	if cfg.SampleSize > 0 && cfg.SampleSize < m.n {
+		train = m.gather(sampleIndices(m.n, cfg.SampleSize, cfg.Seed))
+		if k > train.n {
+			k = train.n
 		}
-		if k > len(train) {
-			k = len(train)
-		}
+		sampled = true
 	}
 
 	r := rng.New(cfg.Seed ^ 0x6b6d)
+	sc := newScratch(train.n, k, train.d)
 	var best *Result
 	for restart := 0; restart < cfg.Restarts; restart++ {
-		res := lloyd(train, k, cfg.MaxIter, &r)
-		if best == nil || res.WCSS < best.WCSS {
-			best = res
+		wcss := lloyd(train, k, cfg.MaxIter, workers, &r, sc)
+		if best == nil || wcss < best.WCSS {
+			best = materialize(train, sc, k, wcss)
 		}
 	}
 
-	if sampleIdx != nil {
+	if sampled {
 		// Re-assign the full point set to the trained centroids.
-		best = assignAll(points, best.Centroids)
+		best = assignMatrix(m, best.Centroids, workers)
 	}
 	return best, nil
+}
+
+// effectiveWorkers resolves the Workers option like the rest of the
+// repository: <= 0 means GOMAXPROCS.
+func effectiveWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // sampleIndices picks n distinct indices from [0, total) deterministically,
@@ -120,104 +306,101 @@ func sampleIndices(total, n int, seed uint64) []int {
 	return idx
 }
 
-// lloyd runs one k-means++ initialisation followed by Lloyd iterations.
-func lloyd(points [][]float64, k int, maxIter int, r *rng.RNG) *Result {
-	centroids := seedPlusPlus(points, k, r)
-	assign := make([]int, len(points))
-	for i := range assign {
-		assign[i] = -1
+// lloyd runs one k-means++ initialisation followed by Lloyd iterations on
+// the flat matrix, leaving the final assignment, sizes and centroids in sc
+// and returning the WCSS. The final iteration's assignment pass doubles as
+// the result pass — no extra full-distance sweep is needed afterwards.
+func lloyd(m *matrix, k, maxIter, workers int, r *rng.RNG, sc *scratch) float64 {
+	seedPlusPlus(m, k, r, sc)
+	for i := range sc.assign {
+		sc.assign[i] = -1
 	}
-	sizes := make([]int, len(centroids))
-	for iter := 0; iter < maxIter; iter++ {
+	var wcss float64
+	for iter := 0; ; iter++ {
+		refreshCentroidNorms(sc, k, m.d)
+		copy(sc.prev, sc.assign)
+		assignPoints(m, sc, k, workers)
+
+		// Serial reduction in index order: sizes, WCSS and the convergence
+		// flag are identical for every worker count.
 		changed := false
-		for i := range sizes {
-			sizes[i] = 0
+		for c := 0; c < k; c++ {
+			sc.sizes[c] = 0
 		}
-		for i, p := range points {
-			bestC, bestD := 0, math.MaxFloat64
-			for c, cent := range centroids {
-				d := bbv.SqDist(p, cent)
-				if d < bestD {
-					bestC, bestD = c, d
-				}
-			}
-			if assign[i] != bestC {
-				assign[i] = bestC
+		wcss = 0
+		for i := 0; i < m.n; i++ {
+			a := sc.assign[i]
+			if a != sc.prev[i] {
 				changed = true
 			}
-			sizes[bestC]++
+			sc.sizes[a]++
+			wcss += sc.minD[i]
 		}
-		if !changed && iter > 0 {
-			break
+		if (!changed && iter > 0) || iter >= maxIter {
+			// The assignment (and WCSS) already reflect the current
+			// centroids, so the loop exits with a coherent result in sc.
+			return wcss
 		}
-		// Recompute centroids.
-		for c := range centroids {
-			for j := range centroids[c] {
-				centroids[c][j] = 0
-			}
-		}
-		for i, p := range points {
-			cent := centroids[assign[i]]
-			for j, x := range p {
-				cent[j] += x
-			}
-		}
-		for c := range centroids {
-			if sizes[c] == 0 {
-				// Re-seed an empty cluster at the point farthest from its
-				// centroid, the standard fix for dead centroids.
-				far, farD := 0, -1.0
-				for i, p := range points {
-					d := bbv.SqDist(p, centroids[assign[i]])
-					if d > farD {
-						far, farD = i, d
-					}
-				}
-				copy(centroids[c], points[far])
-				continue
-			}
-			inv := 1 / float64(sizes[c])
-			for j := range centroids[c] {
-				centroids[c][j] *= inv
-			}
-		}
+		updateCentroids(m, sc, k)
 	}
-	return assignAll(points, centroids)
 }
 
-// assignAll builds a Result by assigning every point to its nearest
-// centroid, dropping empty clusters.
-func assignAll(points [][]float64, centroids [][]float64) *Result {
-	assign := make([]int, len(points))
-	sizes := make([]int, len(centroids))
-	var wcss float64
-	for i, p := range points {
-		bestC, bestD := 0, math.MaxFloat64
-		for c, cent := range centroids {
-			d := bbv.SqDist(p, cent)
-			if d < bestD {
-				bestC, bestD = c, d
-			}
-		}
-		assign[i] = bestC
-		sizes[bestC]++
-		wcss += bestD
+// updateCentroids recomputes each centroid as the mean of its points.
+// Empty clusters are re-seeded at the point currently farthest from its
+// assigned centroid (the standard fix for dead centroids); the point's
+// distance is then cleared so successive dead centroids pick distinct
+// points.
+func updateCentroids(m *matrix, sc *scratch, k int) {
+	d := m.d
+	for i := range sc.sums[:k*d] {
+		sc.sums[i] = 0
 	}
-	// Compact away empty clusters so K reflects reality.
-	remap := make([]int, len(centroids))
+	for i := 0; i < m.n; i++ {
+		row := m.row(i)
+		cent := sc.sums[sc.assign[i]*d : (sc.assign[i]+1)*d]
+		for j, x := range row {
+			cent[j] += x
+		}
+	}
+	for c := 0; c < k; c++ {
+		if sc.sizes[c] == 0 {
+			far, farD := 0, -1.0
+			for i, dd := range sc.minD {
+				if dd > farD {
+					far, farD = i, dd
+				}
+			}
+			sc.minD[far] = -1
+			copy(sc.cents[c*d:(c+1)*d], m.row(far))
+			continue
+		}
+		inv := 1 / float64(sc.sizes[c])
+		for j := 0; j < d; j++ {
+			sc.cents[c*d+j] = sc.sums[c*d+j] * inv
+		}
+	}
+}
+
+// materialize builds a Result from the scratch state of a finished Lloyd
+// run, compacting away empty clusters. It threads the final iteration's
+// assignment and WCSS through instead of re-deriving them with another full
+// distance pass.
+func materialize(m *matrix, sc *scratch, k int, wcss float64) *Result {
+	remap := make([]int, k)
 	var kept [][]float64
 	var keptSizes []int
-	for c := range centroids {
-		if sizes[c] == 0 {
+	for c := 0; c < k; c++ {
+		if sc.sizes[c] == 0 {
 			remap[c] = -1
 			continue
 		}
 		remap[c] = len(kept)
-		kept = append(kept, centroids[c])
-		keptSizes = append(keptSizes, sizes[c])
+		kept = append(kept, append([]float64(nil), sc.cents[c*m.d:(c+1)*m.d]...))
+		keptSizes = append(keptSizes, sc.sizes[c])
 	}
-	for i := range assign {
-		assign[i] = remap[assign[i]]
+	assign := make([]int, m.n)
+	for i, a := range sc.assign {
+		assign[i] = remap[a]
 	}
 	return &Result{
 		K:         len(kept),
@@ -228,46 +411,115 @@ func assignAll(points [][]float64, centroids [][]float64) *Result {
 	}
 }
 
-// seedPlusPlus picks k initial centroids with the k-means++ D² weighting.
-func seedPlusPlus(points [][]float64, k int, r *rng.RNG) [][]float64 {
-	centroids := make([][]float64, 0, k)
-	first := points[r.Intn(len(points))]
-	centroids = append(centroids, append([]float64(nil), first...))
-
-	d2 := make([]float64, len(points))
-	for i, p := range points {
-		d2[i] = bbv.SqDist(p, centroids[0])
+// assignMatrix builds a Result by assigning every row of m to its nearest
+// centroid, dropping empty clusters.
+func assignMatrix(m *matrix, centroids [][]float64, workers int) *Result {
+	k, d := len(centroids), m.d
+	sc := &scratch{
+		cents:  make([]float64, k*d),
+		cnorm:  make([]float64, k),
+		csqrt:  make([]float64, k),
+		sizes:  make([]int, k),
+		assign: make([]int, m.n),
+		minD:   make([]float64, m.n),
 	}
-	for len(centroids) < k {
+	for c, cent := range centroids {
+		copy(sc.cents[c*d:(c+1)*d], cent)
+	}
+	refreshCentroidNorms(sc, k, d)
+	assignPoints(m, sc, k, workers)
+	var wcss float64
+	for i := 0; i < m.n; i++ {
+		sc.sizes[sc.assign[i]]++
+		wcss += sc.minD[i]
+	}
+	// Compact away empty clusters so K reflects reality.
+	remap := make([]int, k)
+	var kept [][]float64
+	var keptSizes []int
+	for c := 0; c < k; c++ {
+		if sc.sizes[c] == 0 {
+			remap[c] = -1
+			continue
+		}
+		remap[c] = len(kept)
+		kept = append(kept, centroids[c])
+		keptSizes = append(keptSizes, sc.sizes[c])
+	}
+	for i := range sc.assign {
+		sc.assign[i] = remap[sc.assign[i]]
+	}
+	return &Result{
+		K:         len(kept),
+		Assign:    sc.assign,
+		Centroids: kept,
+		Sizes:     keptSizes,
+		WCSS:      wcss,
+	}
+}
+
+// assignAll builds a Result by assigning every point to its nearest
+// centroid, dropping empty clusters. It is the slice-of-slices entry point
+// kept for callers that do not hold a flat matrix (the weighted engine).
+func assignAll(points [][]float64, centroids [][]float64) *Result {
+	return assignMatrix(flatten(points), centroids, 1)
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ D² weighting,
+// writing them into sc.cents. The RNG consumption order matches the
+// original slice-based implementation exactly, so seeding is bit-compatible
+// with earlier versions of this package.
+func seedPlusPlus(m *matrix, k int, r *rng.RNG, sc *scratch) {
+	d := m.d
+	first := r.Intn(m.n)
+	copy(sc.cents[0:d], m.row(first))
+
+	d2 := sc.d2
+	c0 := sc.cents[0:d]
+	for i := 0; i < m.n; i++ {
+		d2[i] = sqDist(m.row(i), c0)
+	}
+	for picked := 1; picked < k; picked++ {
 		var total float64
-		for _, d := range d2 {
-			total += d
+		for _, dd := range d2 {
+			total += dd
 		}
 		var idx int
 		if total <= 0 {
 			// All points coincide with existing centroids; any choice works.
-			idx = r.Intn(len(points))
+			idx = r.Intn(m.n)
 		} else {
 			target := r.Float64() * total
 			acc := 0.0
-			idx = len(points) - 1
-			for i, d := range d2 {
-				acc += d
+			idx = m.n - 1
+			for i, dd := range d2 {
+				acc += dd
 				if acc >= target {
 					idx = i
 					break
 				}
 			}
 		}
-		c := append([]float64(nil), points[idx]...)
-		centroids = append(centroids, c)
-		for i, p := range points {
-			if d := bbv.SqDist(p, c); d < d2[i] {
-				d2[i] = d
+		c := sc.cents[picked*d : (picked+1)*d]
+		copy(c, m.row(idx))
+		for i := 0; i < m.n; i++ {
+			if dd := sqDist(m.row(i), c); dd < d2[i] {
+				d2[i] = dd
 			}
 		}
 	}
-	return centroids
+}
+
+// sqDist is the exact squared Euclidean distance (the seeding path keeps
+// the direct form so D² sampling is bit-stable; the assignment kernel uses
+// the norm expansion instead).
+func sqDist(a, b []float64) float64 {
+	var sum float64
+	for i, x := range a {
+		d := x - b[i]
+		sum += d * d
+	}
+	return sum
 }
 
 // BIC scores a clustering under the spherical-Gaussian model of Pelleg &
@@ -305,7 +557,18 @@ func BIC(points [][]float64, res *Result) float64 {
 // candidate, then pick the smallest k whose BIC reaches at least threshold
 // (e.g. 0.9) of the way from the minimum to the maximum BIC observed.
 // It also returns the per-candidate results and scores keyed by k.
+//
+// Candidate runs are independent (each derives its own seed from cfg.Seed
+// and k) and execute in parallel across cfg.Workers goroutines; the
+// selection scan afterwards walks candidates in ascending order, so the
+// choice is identical to a serial sweep.
 func BestK(points [][]float64, maxK int, threshold float64, cfg Config) (*Result, map[int]float64, error) {
+	return bestKWith(points, maxK, threshold, cfg, Run)
+}
+
+// bestKWith is the shared candidate sweep behind BestK and BestKWeighted.
+func bestKWith(points [][]float64, maxK int, threshold float64, cfg Config,
+	run func([][]float64, int, Config) (*Result, error)) (*Result, map[int]float64, error) {
 	if maxK <= 0 {
 		return nil, nil, fmt.Errorf("kmeans: maxK = %d", maxK)
 	}
@@ -313,24 +576,67 @@ func BestK(points [][]float64, maxK int, threshold float64, cfg Config) (*Result
 		threshold = 0.9
 	}
 	candidates := candidateKs(maxK)
+	workers := effectiveWorkers(cfg.Workers)
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+
+	type cand struct {
+		res *Result
+		bic float64
+		err error
+	}
+	out := make([]cand, len(candidates))
+	runOne := func(i int) {
+		k := candidates[i]
+		sub := cfg
+		sub.Seed = cfg.Seed ^ uint64(k)*0x9e37
+		if workers > 1 {
+			// The candidate sweep already saturates the worker budget;
+			// keep each run's assignment kernel serial to avoid
+			// oversubscription. Results do not depend on this choice.
+			sub.Workers = 1
+		}
+		res, err := run(points, k, sub)
+		if err != nil {
+			out[i].err = err
+			return
+		}
+		out[i] = cand{res: res, bic: BIC(points, res)}
+	}
+	if workers <= 1 {
+		for i := range candidates {
+			runOne(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i := range candidates {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				runOne(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+
 	results := make(map[int]*Result, len(candidates))
 	scores := make(map[int]float64, len(candidates))
 	minB, maxB := math.Inf(1), math.Inf(-1)
-	for _, k := range candidates {
-		sub := cfg
-		sub.Seed = cfg.Seed ^ uint64(k)*0x9e37
-		res, err := Run(points, k, sub)
-		if err != nil {
-			return nil, nil, err
+	for i, k := range candidates {
+		if out[i].err != nil {
+			return nil, nil, out[i].err
 		}
-		b := BIC(points, res)
-		results[k] = res
-		scores[k] = b
-		if b < minB {
-			minB = b
+		results[k] = out[i].res
+		scores[k] = out[i].bic
+		if out[i].bic < minB {
+			minB = out[i].bic
 		}
-		if b > maxB {
-			maxB = b
+		if out[i].bic > maxB {
+			maxB = out[i].bic
 		}
 	}
 	span := maxB - minB

@@ -182,43 +182,13 @@ func seedPlusPlusWeighted(points [][]float64, weights []float64, k int, r *rng.R
 // BestKWeighted is BestK for weighted points: it evaluates the same
 // candidate k grid with RunWeighted and scores candidates with BIC over the
 // weighted WCSS (an approximation — the point count, not the weight mass,
-// enters the complexity penalty — adequate for model selection).
+// enters the complexity penalty — adequate for model selection). Candidate
+// runs execute in parallel like BestK's.
 func BestKWeighted(points [][]float64, weights []float64, maxK int, threshold float64, cfg Config) (*Result, map[int]float64, error) {
-	if maxK <= 0 {
-		return nil, nil, fmt.Errorf("kmeans: maxK = %d", maxK)
-	}
-	if threshold <= 0 || threshold > 1 {
-		threshold = 0.9
-	}
-	candidates := candidateKs(maxK)
-	results := make(map[int]*Result, len(candidates))
-	scores := make(map[int]float64, len(candidates))
-	minB, maxB := math.Inf(1), math.Inf(-1)
-	for _, k := range candidates {
-		sub := cfg
-		sub.Seed = cfg.Seed ^ uint64(k)*0x9e37
-		res, err := RunWeighted(points, weights, k, sub)
-		if err != nil {
-			return nil, nil, err
-		}
-		b := BIC(points, res)
-		results[k] = res
-		scores[k] = b
-		if b < minB {
-			minB = b
-		}
-		if b > maxB {
-			maxB = b
-		}
-	}
-	span := maxB - minB
-	for _, k := range candidates {
-		if span == 0 || scores[k] >= minB+threshold*span {
-			return results[k], scores, nil
-		}
-	}
-	last := candidates[len(candidates)-1]
-	return results[last], scores, nil
+	return bestKWith(points, maxK, threshold, cfg,
+		func(pts [][]float64, k int, sub Config) (*Result, error) {
+			return RunWeighted(pts, weights, k, sub)
+		})
 }
 
 // weightedPick samples an index with probability proportional to weight.

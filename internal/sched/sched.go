@@ -1,0 +1,139 @@
+// Package sched provides the suite-level scheduling primitives of the
+// reproduction: a bounded parallel-for for fanning independent
+// per-benchmark work across workers, and a generic singleflight group that
+// deduplicates concurrent computations of the same cached value.
+//
+// Both primitives are designed so that callers stay deterministic: ForEach
+// addresses results by index (the caller writes into pre-sized slots, so
+// output order never depends on goroutine scheduling) and Group guarantees
+// an expensive function runs at most once per key no matter how many
+// figures request it concurrently.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count option: n when positive, otherwise
+// GOMAXPROCS. This is the convention every Workers field in the repository
+// follows (<= 0 means "use all available parallelism").
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) across at most workers
+// goroutines (workers <= 0 uses GOMAXPROCS). fn must write its result into
+// an index-addressed slot so that the outcome is independent of scheduling.
+//
+// All indices run even if some fail; the returned error is the failure with
+// the lowest index, which makes the reported error deterministic regardless
+// of goroutine interleaving.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// call is one in-flight or completed computation.
+type call[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Group is a per-key singleflight cache. The first caller of Do for a key
+// computes the value while concurrent callers for the same key block and
+// share the result; successful results are cached for the lifetime of the
+// Group. Failed computations are not cached — a later Do retries — matching
+// the retry semantics the experiment caches had when they were plain maps.
+//
+// The zero value is ready to use.
+type Group[K comparable, V any] struct {
+	mu    sync.Mutex
+	calls map[K]*call[V]
+}
+
+// Do returns the value for key, computing it with fn if no successful or
+// in-flight computation exists. fn is never invoked twice concurrently for
+// the same key.
+func (g *Group[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[K]*call[V])
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &call[V]{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	if c.err != nil {
+		// Drop failed calls so a later caller can retry; waiters still
+		// observe this call's error through the captured pointer.
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+	}
+	close(c.done)
+	return c.val, c.err
+}
+
+// Len reports how many successful results the group currently caches.
+func (g *Group[K, V]) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, c := range g.calls {
+		select {
+		case <-c.done:
+			n++
+		default:
+		}
+	}
+	return n
+}

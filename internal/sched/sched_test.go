@@ -1,0 +1,112 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		n := 57
+		hits := make([]int32, n)
+		if err := ForEach(workers, n, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndError(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := func(i int) error {
+		if i == 3 || i == 7 {
+			return fmt.Errorf("fail-%d", i)
+		}
+		return nil
+	}
+	// The lowest failing index wins deterministically, for any worker count.
+	for _, workers := range []int{1, 2, 8} {
+		err := ForEach(workers, 10, wantErr)
+		if err == nil || err.Error() != "fail-3" {
+			t.Errorf("workers=%d: err = %v, want fail-3", workers, err)
+		}
+	}
+}
+
+func TestGroupDeduplicatesConcurrentCalls(t *testing.T) {
+	var g Group[string, int]
+	var computed int32
+	var wg sync.WaitGroup
+	vals := make([]int, 32)
+	for i := range vals {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := g.Do("key", func() (int, error) {
+				atomic.AddInt32(&computed, 1)
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			vals[i] = v
+		}(i)
+	}
+	wg.Wait()
+	if computed != 1 {
+		t.Errorf("fn computed %d times for one key", computed)
+	}
+	for _, v := range vals {
+		if v != 42 {
+			t.Errorf("got %d, want 42", v)
+		}
+	}
+	if g.Len() != 1 {
+		t.Errorf("Len() = %d", g.Len())
+	}
+}
+
+func TestGroupCachesPerKey(t *testing.T) {
+	var g Group[int, string]
+	calls := 0
+	for i := 0; i < 3; i++ {
+		v, _ := g.Do(7, func() (string, error) { calls++; return "seven", nil })
+		if v != "seven" {
+			t.Fatalf("got %q", v)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("repeated Do recomputed: %d calls", calls)
+	}
+	v, _ := g.Do(8, func() (string, error) { return "eight", nil })
+	if v != "eight" {
+		t.Errorf("distinct key returned %q", v)
+	}
+}
+
+func TestGroupRetriesAfterError(t *testing.T) {
+	var g Group[string, int]
+	boom := errors.New("boom")
+	if _, err := g.Do("k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if g.Len() != 0 {
+		t.Errorf("failed call cached: Len() = %d", g.Len())
+	}
+	v, err := g.Do("k", func() (int, error) { return 9, nil })
+	if err != nil || v != 9 {
+		t.Errorf("retry got (%d, %v)", v, err)
+	}
+}
