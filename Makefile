@@ -1,9 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench benchsmoke
 
-## check: the pre-commit gate — vet, build, then the full suite under -race.
-check: vet build race
+## check: the pre-commit gate — vet, build, the full suite under -race, and
+## a single-iteration pass over every benchmark (including the obs overhead
+## guard), so a broken or newly expensive benchmark fails the gate.
+check: vet build race benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -20,3 +22,10 @@ race:
 ## bench: one testing.B benchmark per paper table/figure, single iteration.
 bench:
 	$(GO) test -bench=. -benchtime=1x .
+
+## benchsmoke: compile-and-run every benchmark once (no timing fidelity) —
+## catches bit-rotted benchmarks and asserts BenchmarkObsOverhead's
+## disabled path still runs.
+benchsmoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/...
+	$(GO) test -run='^$$' -bench=BenchmarkFig8 -benchtime=1x .

@@ -7,6 +7,7 @@ package specsampling
 // than assertion.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -17,6 +18,10 @@ import (
 	"specsampling/internal/workload"
 )
 
+// tctx is the background context the ablation benchmarks thread through
+// the core API.
+var tctx = context.Background()
+
 // ablationAnalysis builds one mid-sized pointer-chasing benchmark — the
 // worst case for cold caches — at the test scale.
 func ablationAnalysis(b *testing.B) *core.Analysis {
@@ -26,7 +31,7 @@ func ablationAnalysis(b *testing.B) *core.Analysis {
 		b.Fatal(err)
 	}
 	scale := workload.ScaleFromEnv(workload.ScaleSmall)
-	an, err := core.Analyze(spec, core.DefaultConfig(scale))
+	an, err := core.Analyze(tctx, spec, core.DefaultConfig(scale))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -40,7 +45,7 @@ func ablationAnalysis(b *testing.B) *core.Analysis {
 func BenchmarkAblationWarmupLength(b *testing.B) {
 	an := ablationAnalysis(b)
 	hier := an.CacheConfig()
-	whole, err := an.WholeCache(hier)
+	whole, err := an.WholeCache(tctx, hier)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -50,7 +55,7 @@ func BenchmarkAblationWarmupLength(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			prof, err := an.SampledCache(pbs, hier)
+			prof, err := an.SampledCache(tctx, pbs, hier)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -65,7 +70,7 @@ func BenchmarkAblationWarmupLength(b *testing.B) {
 // phases together (fewer points, worse mix error); more than 15 buys little.
 func BenchmarkAblationProjectionDims(b *testing.B) {
 	an := ablationAnalysis(b)
-	whole := an.WholeMix()
+	whole := an.WholeMix(tctx)
 	for i := 0; i < b.N; i++ {
 		for _, dims := range []int{2, 15, 64} {
 			cfg := simpoint.DefaultConfig(an.Config.Scale.SliceLen)
@@ -80,7 +85,7 @@ func BenchmarkAblationProjectionDims(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			mix, err := an.SampledMix(pbs)
+			mix, err := an.SampledMix(tctx, pbs)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -144,7 +149,7 @@ func BenchmarkAblationCachePrefetch(b *testing.B) {
 		b.Fatal(err)
 	}
 	scale := workload.ScaleFromEnv(workload.ScaleSmall)
-	an, err := core.Analyze(spec, core.DefaultConfig(scale))
+	an, err := core.Analyze(tctx, spec, core.DefaultConfig(scale))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -152,11 +157,11 @@ func BenchmarkAblationCachePrefetch(b *testing.B) {
 		on := an.TimingConfig()
 		off := on
 		off.Prefetch = false
-		cpiOn, err := an.WholeCPI(on)
+		cpiOn, err := an.WholeCPI(tctx, on)
 		if err != nil {
 			b.Fatal(err)
 		}
-		cpiOff, err := an.WholeCPI(off)
+		cpiOff, err := an.WholeCPI(tctx, off)
 		if err != nil {
 			b.Fatal(err)
 		}

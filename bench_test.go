@@ -82,7 +82,7 @@ func BenchmarkTableI(b *testing.B) {
 func BenchmarkTableII(b *testing.B) {
 	r := sharedRunner(b)
 	for i := 0; i < b.N; i++ {
-		res, err := r.TableII()
+		res, err := r.TableII(tctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -104,7 +104,7 @@ func BenchmarkTableIII(b *testing.B) {
 func BenchmarkFig3a(b *testing.B) {
 	r := sharedRunner(b)
 	for i := 0; i < b.N; i++ {
-		res, err := r.Fig3a("623.xalancbmk_s", nil)
+		res, err := r.Fig3a(tctx, "623.xalancbmk_s", nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -118,7 +118,7 @@ func BenchmarkFig3a(b *testing.B) {
 func BenchmarkFig3b(b *testing.B) {
 	r := sharedRunner(b)
 	for i := 0; i < b.N; i++ {
-		res, err := r.Fig3b("623.xalancbmk_s", nil)
+		res, err := r.Fig3b(tctx, "623.xalancbmk_s", nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -134,7 +134,7 @@ func BenchmarkFig3b(b *testing.B) {
 func BenchmarkFig4(b *testing.B) {
 	r := sharedRunner(b)
 	for i := 0; i < b.N; i++ {
-		res, err := r.Fig4(nil)
+		res, err := r.Fig4(tctx, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -159,7 +159,7 @@ func BenchmarkFig4(b *testing.B) {
 func BenchmarkFig5(b *testing.B) {
 	r := sharedRunner(b)
 	for i := 0; i < b.N; i++ {
-		res, err := r.Fig5()
+		res, err := r.Fig5(tctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -174,7 +174,7 @@ func BenchmarkFig5(b *testing.B) {
 func BenchmarkFig6(b *testing.B) {
 	r := sharedRunner(b)
 	for i := 0; i < b.N; i++ {
-		rows, err := r.Fig6()
+		rows, err := r.Fig6(tctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -192,7 +192,7 @@ func BenchmarkFig6(b *testing.B) {
 func BenchmarkFig7(b *testing.B) {
 	r := sharedRunner(b)
 	for i := 0; i < b.N; i++ {
-		res, err := r.Fig7()
+		res, err := r.Fig7(tctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -207,7 +207,7 @@ func BenchmarkFig7(b *testing.B) {
 func BenchmarkFig8(b *testing.B) {
 	r := sharedRunner(b)
 	for i := 0; i < b.N; i++ {
-		res, err := r.Fig8()
+		res, err := r.Fig8(tctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -222,7 +222,7 @@ func BenchmarkFig8(b *testing.B) {
 func BenchmarkFig9(b *testing.B) {
 	r := sharedRunner(b)
 	for i := 0; i < b.N; i++ {
-		pts, err := r.Fig9(nil)
+		pts, err := r.Fig9(tctx, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -236,7 +236,7 @@ func BenchmarkFig9(b *testing.B) {
 func BenchmarkFig10(b *testing.B) {
 	r := sharedRunner(b)
 	for i := 0; i < b.N; i++ {
-		rows, err := r.Fig10()
+		rows, err := r.Fig10(tctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -360,7 +360,7 @@ func BenchmarkSuiteAnalyze(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if err := r.Prewarm("all"); err != nil {
+				if err := r.Prewarm(tctx, "all"); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -374,7 +374,7 @@ func BenchmarkSuiteAnalyze(b *testing.B) {
 func BenchmarkFig12(b *testing.B) {
 	r := sharedRunner(b)
 	for i := 0; i < b.N; i++ {
-		res, err := r.Fig12()
+		res, err := r.Fig12(tctx)
 		if err != nil {
 			b.Fatal(err)
 		}

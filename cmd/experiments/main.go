@@ -14,17 +14,28 @@
 // count) bounds the fan-out of per-benchmark analyses, figure loops,
 // clustering and replay. Every reported number is identical for any worker
 // count — parallelism only changes wall-clock time.
+//
+// Observability: -trace FILE writes a JSONL span tree of the whole run
+// (analyze → profile/cluster → replay), -progress narrates live progress to
+// stderr, and -metrics dumps the pipeline counters on exit. All three are
+// off by default and cost nothing when disabled. Ctrl-C cancels the run
+// deterministically — in-flight benchmarks finish their current slice and
+// the process exits with an "interrupted" error.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 	"time"
 
 	"specsampling/internal/experiments"
+	"specsampling/internal/obs"
 	"specsampling/internal/workload"
 )
 
@@ -45,9 +56,19 @@ func run(args []string) error {
 			"clustering and pinball replay all fan out across this budget "+
 			"(results are identical for any value; <= 0 means GOMAXPROCS)")
 	jsonPath := fs.String("json", "", "also write structured results as JSON to this file")
+	obsFlags := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	shutdown, err := obsFlags.Activate(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := shutdown(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", cerr)
+		}
+	}()
 	scale, err := workload.ScaleByName(*scaleName)
 	if err != nil {
 		return err
@@ -71,16 +92,24 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("reproducing %s at scale %q over %d benchmarks\n",
-		*id, scale.Name, len(runner.Benchmarks()))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	fmt.Printf("reproducing %s: %s\n", *id, runner.Describe())
 	start := time.Now()
 	if *jsonPath == "" {
-		if err := runner.Run(*id); err != nil {
+		if err := runner.Run(ctx, *id); err != nil {
+			if errors.Is(err, context.Canceled) {
+				return fmt.Errorf("interrupted: %w", err)
+			}
 			return err
 		}
 	} else {
 		report := experiments.NewReport()
-		if err := runner.RunRecorded(*id, report); err != nil {
+		if err := runner.RunRecorded(ctx, *id, report); err != nil {
+			if errors.Is(err, context.Canceled) {
+				return fmt.Errorf("interrupted: %w", err)
+			}
 			return err
 		}
 		f, err := os.Create(*jsonPath)

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -67,7 +68,7 @@ func logPinballs(args []string) error {
 	}
 	cfg := core.DefaultConfig(scale)
 	cfg.MaxK = *maxK
-	an, err := core.Analyze(spec, cfg)
+	an, err := core.Analyze(context.Background(), spec, cfg)
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,10 @@
 //	specsim list
 //	specsim run -bench 505.mcf_r [-scale medium] [-instrs N]
 //	specsim phases -bench 503.bwaves_r [-scale medium] [-width 100] [-workers N]
+//
+// The run and phases subcommands accept the shared observability flags:
+// -trace FILE (JSONL span trace), -progress (live narration on stderr) and
+// -metrics (counter dump on exit).
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"os"
 
 	"specsampling/internal/cache"
+	"specsampling/internal/obs"
 	"specsampling/internal/pin"
 	"specsampling/internal/pintool"
 	"specsampling/internal/textplot"
@@ -58,12 +63,22 @@ func runBench(args []string) error {
 	bench := fs.String("bench", "", "benchmark name (e.g. 505.mcf_r)")
 	scaleName := fs.String("scale", "medium", "workload scale: full, medium or small")
 	instrs := fs.Uint64("instrs", 0, "stop after N instructions (0 = run to completion)")
+	obsFlags := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *bench == "" {
 		return fmt.Errorf("missing -bench")
 	}
+	shutdown, err := obsFlags.Activate(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := shutdown(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "specsim:", cerr)
+		}
+	}()
 	spec, err := workload.ByName(*bench)
 	if err != nil {
 		return err

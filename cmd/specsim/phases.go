@@ -1,13 +1,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
+	"os"
 	"runtime"
 
 	"specsampling/internal/bbv"
 	"specsampling/internal/core"
+	"specsampling/internal/obs"
 	"specsampling/internal/pinball"
 	"specsampling/internal/textplot"
 	"specsampling/internal/timing"
@@ -25,12 +28,22 @@ func phasesCmd(args []string) error {
 	width := fs.Int("width", 100, "timeline width in characters")
 	workers := fs.Int("workers", runtime.NumCPU(),
 		"worker goroutines for clustering and replay (results are identical for any value; <= 0 means GOMAXPROCS)")
+	obsFlags := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *bench == "" {
 		return fmt.Errorf("missing -bench")
 	}
+	shutdown, err := obsFlags.Activate(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := shutdown(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "specsim:", cerr)
+		}
+	}()
 	spec, err := workload.ByName(*bench)
 	if err != nil {
 		return err
@@ -41,7 +54,7 @@ func phasesCmd(args []string) error {
 	}
 	acfg := core.DefaultConfig(scale)
 	acfg.Workers = *workers
-	an, err := core.Analyze(spec, acfg)
+	an, err := core.Analyze(context.Background(), spec, acfg)
 	if err != nil {
 		return err
 	}

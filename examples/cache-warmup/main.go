@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -31,13 +32,14 @@ func main() {
 	}
 	scale := workload.ScaleFromEnv(workload.ScaleMedium)
 
-	an, err := core.Analyze(spec, core.DefaultConfig(scale))
+	ctx := context.Background()
+	an, err := core.Analyze(ctx, spec, core.DefaultConfig(scale))
 	if err != nil {
 		log.Fatal(err)
 	}
 	hier := cache.ScaledHierarchy(cache.TableIConfig(), scale.CacheDivs)
 
-	whole, err := an.WholeCache(hier)
+	whole, err := an.WholeCache(ctx, hier)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,7 +48,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	coldProf, err := an.SampledCache(cold, hier)
+	coldProf, err := an.SampledCache(ctx, cold, hier)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,14 +58,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	warmProf, err := an.SampledCache(warm, hier)
+	warmProf, err := an.SampledCache(ctx, warm, hier)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// The paper's alternative mitigation: run each regional pinball
 	// multiple times, measuring only the last pass.
-	repeatProf, err := an.SampledCacheRepeated(cold, hier, 3)
+	repeatProf, err := an.SampledCacheRepeated(ctx, cold, hier, 3)
 	if err != nil {
 		log.Fatal(err)
 	}

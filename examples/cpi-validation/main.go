@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -28,6 +29,7 @@ func main() {
 		benches = os.Args[1:]
 	}
 	scale := workload.ScaleFromEnv(workload.ScaleMedium)
+	ctx := context.Background()
 
 	t := textplot.NewTable("Benchmark", "Native CPI", "Sniper Regional", "Sniper Reduced", "Err %")
 	var natCPIs, regCPIs []float64
@@ -36,7 +38,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		an, err := core.Analyze(spec, core.DefaultConfig(scale))
+		an, err := core.Analyze(ctx, spec, core.DefaultConfig(scale))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -52,7 +54,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		regional, err := an.SampledCPI(pbs, an.TimingConfig())
+		regional, err := an.SampledCPI(ctx, pbs, an.TimingConfig())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -66,7 +68,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		reduced, err := an.SampledCPI(rpbs, an.TimingConfig())
+		reduced, err := an.SampledCPI(ctx, rpbs, an.TimingConfig())
 		if err != nil {
 			log.Fatal(err)
 		}

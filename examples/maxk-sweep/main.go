@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -32,18 +33,19 @@ func main() {
 	}
 	scale := workload.ScaleFromEnv(workload.ScaleMedium)
 
-	an, err := core.Analyze(spec, core.DefaultConfig(scale))
+	ctx := context.Background()
+	an, err := core.Analyze(ctx, spec, core.DefaultConfig(scale))
 	if err != nil {
 		log.Fatal(err)
 	}
 	hier := cache.ScaledHierarchy(cache.TableIConfig(), scale.CacheDivs)
-	whole := an.WholeMix()
-	wholeCache, err := an.WholeCache(hier)
+	whole := an.WholeMix(ctx)
+	wholeCache, err := an.WholeCache(ctx, hier)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	points, err := an.SweepMaxK([]int{5, 10, 15, 20, 25, 30, 35}, hier)
+	points, err := an.SweepMaxK(ctx, []int{5, 10, 15, 20, 25, 30, 35}, hier)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,25 +9,38 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 
 	"specsampling/internal/core"
+	"specsampling/internal/obs"
+	"specsampling/internal/sched"
 	"specsampling/internal/workload"
 )
 
 func main() {
+	// 0. Narrate progress to stderr while the pipeline runs. Observability
+	// is off by default; enabling a sink costs one atomic store.
+	obs.Enable(obs.NewNarrator(os.Stderr))
+	defer obs.Disable()
+
 	// 1. Pick a benchmark and a scale.
 	spec, err := workload.ByName("623.xalancbmk_s")
 	if err != nil {
 		log.Fatal(err)
 	}
 	scale := workload.ScaleFromEnv(workload.ScaleMedium)
+	cfg := core.DefaultConfig(scale)
+	obs.Headerf("scale=%s slice=%d maxk=%d seed=%d workers=%d",
+		scale.Name, scale.SliceLen, cfg.MaxK, cfg.Seed, sched.Workers(cfg.Workers))
 
 	// 2. Profile and cluster: one pass over the whole execution collects a
 	// basic block vector per 30M-equivalent slice; k-means with BIC model
 	// selection (MaxK 35) groups the slices into phases.
-	an, err := core.Analyze(spec, core.DefaultConfig(scale))
+	ctx := context.Background()
+	an, err := core.Analyze(ctx, spec, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,11 +54,11 @@ func main() {
 	}
 
 	// 4. Replay them (in parallel) with ldstmix and weight-average.
-	sampled, err := an.SampledMix(pinballs)
+	sampled, err := an.SampledMix(ctx, pinballs)
 	if err != nil {
 		log.Fatal(err)
 	}
-	whole := an.WholeMix()
+	whole := an.WholeMix(ctx)
 
 	// 5. Compare: the paper reports <1% error (Figure 7).
 	labels := []string{"NO_MEM", "MEM_R", "MEM_W", "MEM_RW"}

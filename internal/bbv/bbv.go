@@ -15,8 +15,12 @@ import (
 	"fmt"
 
 	"specsampling/internal/isa"
+	"specsampling/internal/obs"
 	"specsampling/internal/rng"
 )
+
+// projectionCounter counts vectors pushed through random projection.
+var projectionCounter = obs.GetCounter("bbv.projections")
 
 // DefaultProjectedDims is SimPoint's default random-projection
 // dimensionality.
@@ -131,6 +135,7 @@ func (p *Projector) ProjectAll(vs [][]float64) [][]float64 {
 	for i, v := range vs {
 		out[i] = p.Project(v)
 	}
+	projectionCounter.Add(int64(len(vs)))
 	return out
 }
 

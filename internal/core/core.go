@@ -11,10 +11,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"specsampling/internal/cache"
 	"specsampling/internal/kmeans"
+	"specsampling/internal/obs"
 	"specsampling/internal/pinball"
 	"specsampling/internal/program"
 	"specsampling/internal/simpoint"
@@ -22,31 +24,52 @@ import (
 	"specsampling/internal/workload"
 )
 
-// Config parameterises an analysis.
+// Config parameterises an analysis. The zero value (plus a Scale) is safe:
+// Normalize resolves every unset knob to the paper's defaults, so
+//
+//	Config{Scale: workload.ScaleSmall}
+//
+// is equivalent to DefaultConfig(workload.ScaleSmall).
 type Config struct {
 	// Scale selects the workload scale (see workload.Scale).
 	Scale workload.Scale
 	// SliceLen overrides the scale's slice length when non-zero.
 	SliceLen uint64
-	// MaxK is the cluster ceiling (the paper settles on 35).
+	// MaxK is the cluster ceiling; <= 0 uses simpoint.DefaultMaxK (the
+	// paper settles on 35).
 	MaxK int
-	// BICThreshold is the SimPoint BIC fraction (default 0.9).
+	// BICThreshold is the SimPoint BIC fraction; <= 0 uses
+	// simpoint.DefaultBICThreshold (0.9).
 	BICThreshold float64
-	// Seed drives projection/clustering.
+	// Seed drives projection/clustering; 0 uses simpoint.DefaultSeed.
 	Seed uint64
-	// Workers bounds parallel pinball replay; <= 0 uses GOMAXPROCS.
+	// Workers bounds parallel pinball replay and clustering; <= 0 uses
+	// GOMAXPROCS (resolved at the point of use via sched.Workers, so a
+	// Config is portable across machines).
 	Workers int
 }
 
 // DefaultConfig returns the paper's configuration at the given scale:
 // MaxK 35 with the scale's 30 M-equivalent slice length.
 func DefaultConfig(scale workload.Scale) Config {
-	return Config{
-		Scale:        scale,
-		MaxK:         35,
-		BICThreshold: 0.9,
-		Seed:         2017,
+	return Config{Scale: scale}.Normalize()
+}
+
+// Normalize resolves zero values to the pipeline defaults declared in
+// package simpoint. It is idempotent, and every entry point calls it, so
+// callers may pass sparse configs. SliceLen stays zero here — it is a
+// per-call override of the scale's slice length, resolved by sliceLen().
+func (c Config) Normalize() Config {
+	if c.MaxK <= 0 {
+		c.MaxK = simpoint.DefaultMaxK
 	}
+	if c.BICThreshold <= 0 {
+		c.BICThreshold = simpoint.DefaultBICThreshold
+	}
+	if c.Seed == 0 {
+		c.Seed = simpoint.DefaultSeed
+	}
+	return c
 }
 
 func (c Config) sliceLen() uint64 {
@@ -57,14 +80,11 @@ func (c Config) sliceLen() uint64 {
 }
 
 func (c Config) simpointConfig() simpoint.Config {
+	c = c.Normalize()
 	sp := simpoint.DefaultConfig(c.sliceLen())
 	sp.MaxK = c.MaxK
-	if c.BICThreshold > 0 {
-		sp.BICThreshold = c.BICThreshold
-	}
-	if c.Seed != 0 {
-		sp.Seed = c.Seed
-	}
+	sp.BICThreshold = c.BICThreshold
+	sp.Seed = c.Seed
 	// Hand the worker budget to the clustering engine. The explicit config
 	// matches what simpoint would default to, plus Workers; k-means results
 	// are identical for every worker count.
@@ -91,26 +111,60 @@ type Analysis struct {
 
 // Analyze builds the benchmark at the configured scale, profiles it, and
 // clusters it. This is the expensive pass; everything downstream reuses it.
-func Analyze(spec workload.Spec, cfg Config) (*Analysis, error) {
+// ctx carries the tracing span tree and cancellation.
+func Analyze(ctx context.Context, spec workload.Spec, cfg Config) (*Analysis, error) {
+	cfg = cfg.Normalize()
+	ctx, span := obs.Start(ctx, "analyze",
+		obs.String("bench", spec.Name), obs.String("scale", cfg.Scale.Name))
+	defer span.End()
+
+	_, bspan := obs.Start(ctx, "build")
 	prog, err := spec.Build(cfg.Scale)
+	bspan.End()
 	if err != nil {
 		return nil, err
 	}
-	return AnalyzeProgram(spec, prog, cfg)
+	return analyzeProgram(ctx, spec, prog, cfg)
 }
 
 // AnalyzeProgram profiles and clusters an already-built program (callers
 // that sweep slice sizes rebuild programs themselves).
-func AnalyzeProgram(spec workload.Spec, prog *program.Program, cfg Config) (*Analysis, error) {
+func AnalyzeProgram(ctx context.Context, spec workload.Spec, prog *program.Program, cfg Config) (*Analysis, error) {
+	cfg = cfg.Normalize()
+	ctx, span := obs.Start(ctx, "analyze",
+		obs.String("bench", spec.Name), obs.String("scale", cfg.Scale.Name))
+	defer span.End()
+	return analyzeProgram(ctx, spec, prog, cfg)
+}
+
+// analyzeProgram is the shared profile+cluster pass under an "analyze" span.
+func analyzeProgram(ctx context.Context, spec workload.Spec, prog *program.Program, cfg Config) (*Analysis, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	spCfg := cfg.simpointConfig()
+
+	pctx, pspan := obs.Start(ctx, "profile", obs.Uint64("slice_len", spCfg.SliceLen))
 	slices, total, err := simpoint.Profile(prog, spCfg.SliceLen)
 	if err != nil {
+		pspan.End()
 		return nil, fmt.Errorf("core: profile %s: %w", spec.Name, err)
 	}
+	pspan.Annotate(obs.Int("slices", len(slices)), obs.Uint64("instrs", total))
+	pspan.End()
+	if err := pctx.Err(); err != nil {
+		return nil, err
+	}
+
+	_, cspan := obs.Start(ctx, "cluster", obs.Int("max_k", spCfg.MaxK))
 	res, err := simpoint.Cluster(prog.Name, slices, total, spCfg)
 	if err != nil {
+		cspan.End()
 		return nil, fmt.Errorf("core: cluster %s: %w", spec.Name, err)
 	}
+	cspan.Annotate(obs.Int("k", res.NumPoints()))
+	cspan.End()
+
 	return &Analysis{
 		Spec:        spec,
 		Prog:        prog,
@@ -135,7 +189,13 @@ func (a *Analysis) TimingConfig() timing.Config {
 
 // Recluster re-runs the clustering step of an existing analysis with a
 // different MaxK (the Figure 3(a) sweep) without re-profiling.
-func (a *Analysis) Recluster(maxK int) (*simpoint.Result, error) {
+func (a *Analysis) Recluster(ctx context.Context, maxK int) (*simpoint.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	_, span := obs.Start(ctx, "cluster",
+		obs.String("bench", a.Prog.Name), obs.Int("max_k", maxK))
+	defer span.End()
 	cfg := a.Config
 	cfg.MaxK = maxK
 	return simpoint.Cluster(a.Prog.Name, a.Slices, a.TotalInstrs, cfg.simpointConfig())
@@ -143,7 +203,13 @@ func (a *Analysis) Recluster(maxK int) (*simpoint.Result, error) {
 
 // VarianceSweep re-clusters the profiled slices at fixed k values and
 // returns the average within-cluster variance per k (Figure 4).
-func (a *Analysis) VarianceSweep(ks []int) (map[int]float64, error) {
+func (a *Analysis) VarianceSweep(ctx context.Context, ks []int) (map[int]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	_, span := obs.Start(ctx, "variance_sweep",
+		obs.String("bench", a.Prog.Name), obs.Int("ks", len(ks)))
+	defer span.End()
 	return simpoint.VarianceSweep(a.Slices, ks, a.Config.simpointConfig())
 }
 

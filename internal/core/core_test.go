@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -8,6 +9,9 @@ import (
 	"specsampling/internal/native"
 	"specsampling/internal/workload"
 )
+
+// tctx is the background context every test threads through the API.
+var tctx = context.Background()
 
 // analyzeBench runs the pipeline for a named benchmark at small scale.
 func analyzeBench(t testing.TB, name string) *Analysis {
@@ -17,7 +21,7 @@ func analyzeBench(t testing.TB, name string) *Analysis {
 		t.Fatal(err)
 	}
 	cfg := DefaultConfig(workload.ScaleSmall)
-	an, err := Analyze(spec, cfg)
+	an, err := Analyze(tctx, spec, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,12 +98,12 @@ func TestPinballsWithWarmup(t *testing.T) {
 // mix matches the whole-run mix to within ~1-2%.
 func TestSampledMixTracksWholeMix(t *testing.T) {
 	an := analyzeBench(t, "541.leela_r")
-	whole := an.WholeMix()
+	whole := an.WholeMix(tctx)
 	pbs, err := an.Pinballs(an.Result, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sampled, err := an.SampledMix(pbs)
+	sampled, err := an.SampledMix(tctx, pbs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +121,7 @@ func TestSampledMixTracksWholeMix(t *testing.T) {
 func TestSampledCacheGradient(t *testing.T) {
 	an := analyzeBench(t, "505.mcf_r")
 	hier := an.CacheConfig()
-	whole, err := an.WholeCache(hier)
+	whole, err := an.WholeCache(tctx, hier)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +129,7 @@ func TestSampledCacheGradient(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sampled, err := an.SampledCache(pbs, hier)
+	sampled, err := an.SampledCache(tctx, pbs, hier)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +151,7 @@ func TestSampledCacheGradient(t *testing.T) {
 func TestWarmupReducesL3Error(t *testing.T) {
 	an := analyzeBench(t, "505.mcf_r")
 	hier := an.CacheConfig()
-	whole, err := an.WholeCache(hier)
+	whole, err := an.WholeCache(tctx, hier)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +159,7 @@ func TestWarmupReducesL3Error(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	coldProf, err := an.SampledCache(cold, hier)
+	coldProf, err := an.SampledCache(tctx, cold, hier)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +167,7 @@ func TestWarmupReducesL3Error(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	warmProf, err := an.SampledCache(warm, hier)
+	warmProf, err := an.SampledCache(tctx, warm, hier)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +181,7 @@ func TestWarmupReducesL3Error(t *testing.T) {
 func TestSampledCPITracksWholeCPI(t *testing.T) {
 	an := analyzeBench(t, "541.leela_r")
 	cfg := an.TimingConfig()
-	whole, err := an.WholeCPI(cfg)
+	whole, err := an.WholeCPI(tctx, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +189,7 @@ func TestSampledCPITracksWholeCPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sampled, err := an.SampledCPI(pbs, cfg)
+	sampled, err := an.SampledCPI(tctx, pbs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +211,7 @@ func TestNativeVsSniperSampled(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sniper, err := an.SampledCPI(pbs, an.TimingConfig())
+	sniper, err := an.SampledCPI(tctx, pbs, an.TimingConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +222,7 @@ func TestNativeVsSniperSampled(t *testing.T) {
 
 func TestCompareRuns(t *testing.T) {
 	an := analyzeBench(t, "520.omnetpp_r")
-	rc, err := an.CompareRuns(0.9)
+	rc, err := an.CompareRuns(tctx, 0.9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +250,7 @@ func TestCompareRuns(t *testing.T) {
 
 func TestSweepMaxK(t *testing.T) {
 	an := analyzeBench(t, "520.omnetpp_r")
-	pts, err := an.SweepMaxK([]int{3, 10}, an.CacheConfig())
+	pts, err := an.SweepMaxK(tctx, []int{3, 10}, an.CacheConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +272,7 @@ func TestSweepSliceSize(t *testing.T) {
 	}
 	cfg := DefaultConfig(workload.ScaleSmall)
 	hier := cache.ScaledHierarchy(cache.TableIConfig(), workload.ScaleSmall.CacheDivs)
-	pts, err := SweepSliceSize(spec, cfg, []uint64{15_000_000, 30_000_000}, hier)
+	pts, err := SweepSliceSize(tctx, spec, cfg, []uint64{15_000_000, 30_000_000}, hier)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +286,7 @@ func TestSweepSliceSize(t *testing.T) {
 
 func TestPercentileSweep(t *testing.T) {
 	an := analyzeBench(t, "557.xz_r")
-	pts, err := an.PercentileSweep([]float64{1.0, 0.9, 0.5}, an.CacheConfig())
+	pts, err := an.PercentileSweep(tctx, []float64{1.0, 0.9, 0.5}, an.CacheConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,16 +310,16 @@ func TestErrorPaths(t *testing.T) {
 	if _, err := an.Pinballs(nil, 0); err == nil {
 		t.Error("nil result accepted")
 	}
-	if _, err := an.SampledMix(nil); err == nil {
+	if _, err := an.SampledMix(tctx, nil); err == nil {
 		t.Error("empty pinball set accepted for mix")
 	}
-	if _, err := an.SampledCache(nil, an.CacheConfig()); err == nil {
+	if _, err := an.SampledCache(tctx, nil, an.CacheConfig()); err == nil {
 		t.Error("empty pinball set accepted for cache")
 	}
-	if _, err := an.SampledCPI(nil, an.TimingConfig()); err == nil {
+	if _, err := an.SampledCPI(tctx, nil, an.TimingConfig()); err == nil {
 		t.Error("empty pinball set accepted for CPI")
 	}
-	if _, err := an.WholeCache(cache.HierarchyConfig{}); err == nil {
+	if _, err := an.WholeCache(tctx, cache.HierarchyConfig{}); err == nil {
 		t.Error("invalid hierarchy accepted")
 	}
 }
@@ -323,7 +327,7 @@ func TestErrorPaths(t *testing.T) {
 func TestRepeatedReplayReducesL3Error(t *testing.T) {
 	an := analyzeBench(t, "505.mcf_r")
 	hier := an.CacheConfig()
-	whole, err := an.WholeCache(hier)
+	whole, err := an.WholeCache(tctx, hier)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,19 +335,19 @@ func TestRepeatedReplayReducesL3Error(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	once, err := an.SampledCacheRepeated(pbs, hier, 1)
+	once, err := an.SampledCacheRepeated(tctx, pbs, hier, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// rounds=1 must agree with the plain path.
-	plain, err := an.SampledCache(pbs, hier)
+	plain, err := an.SampledCache(tctx, pbs, hier)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if math.Abs(once.L3-plain.L3) > 1e-9 {
 		t.Errorf("rounds=1 L3 %v != plain %v", once.L3, plain.L3)
 	}
-	thrice, err := an.SampledCacheRepeated(pbs, hier, 3)
+	thrice, err := an.SampledCacheRepeated(tctx, pbs, hier, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -352,10 +356,10 @@ func TestRepeatedReplayReducesL3Error(t *testing.T) {
 	if errThrice > errOnce+0.01 {
 		t.Errorf("repeated replay increased L3 error: %v -> %v", errOnce, errThrice)
 	}
-	if _, err := an.SampledCacheRepeated(pbs, hier, 0); err == nil {
+	if _, err := an.SampledCacheRepeated(tctx, pbs, hier, 0); err == nil {
 		t.Error("rounds=0 accepted")
 	}
-	if _, err := an.SampledCacheRepeated(nil, hier, 2); err == nil {
+	if _, err := an.SampledCacheRepeated(tctx, nil, hier, 2); err == nil {
 		t.Error("empty pinballs accepted")
 	}
 }
@@ -363,7 +367,7 @@ func TestRepeatedReplayReducesL3Error(t *testing.T) {
 func TestSplitWarmingReducesL3Error(t *testing.T) {
 	an := analyzeBench(t, "505.mcf_r")
 	hier := an.CacheConfig()
-	whole, err := an.WholeCache(hier)
+	whole, err := an.WholeCache(tctx, hier)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,11 +375,11 @@ func TestSplitWarmingReducesL3Error(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cold, err := an.SampledCache(pbs, hier)
+	cold, err := an.SampledCache(tctx, pbs, hier)
 	if err != nil {
 		t.Fatal(err)
 	}
-	split, err := an.SampledCacheSplit(pbs, hier, 0.5)
+	split, err := an.SampledCacheSplit(tctx, pbs, hier, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -389,17 +393,17 @@ func TestSplitWarmingReducesL3Error(t *testing.T) {
 		t.Error("split warming should measure fewer instructions")
 	}
 	// Zero warm fraction must equal the plain path.
-	zero, err := an.SampledCacheSplit(pbs, hier, 0)
+	zero, err := an.SampledCacheSplit(tctx, pbs, hier, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if math.Abs(zero.L3-cold.L3) > 1e-9 {
 		t.Errorf("warmFrac=0 L3 %v != plain %v", zero.L3, cold.L3)
 	}
-	if _, err := an.SampledCacheSplit(pbs, hier, 1.0); err == nil {
+	if _, err := an.SampledCacheSplit(tctx, pbs, hier, 1.0); err == nil {
 		t.Error("warmFrac=1 accepted")
 	}
-	if _, err := an.SampledCacheSplit(nil, hier, 0.5); err == nil {
+	if _, err := an.SampledCacheSplit(tctx, nil, hier, 0.5); err == nil {
 		t.Error("empty pinballs accepted")
 	}
 }

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"specsampling/internal/cache"
+	"specsampling/internal/obs"
 	"specsampling/internal/pin"
 	"specsampling/internal/pinball"
 	"specsampling/internal/pintool"
@@ -11,6 +13,17 @@ import (
 	"specsampling/internal/stats"
 	"specsampling/internal/timing"
 )
+
+// cacheAccessCounter totals cache-hierarchy accesses observed by the
+// measurement paths, batched per hierarchy where stats are already read.
+var cacheAccessCounter = obs.GetCounter("cache.accesses")
+
+// countHierarchy adds one hierarchy's access totals to the global counter.
+func countHierarchy(h *cache.Hierarchy) {
+	s := h.L1D.Stats().Accesses + h.L1I.Stats().Accesses +
+		h.L2.Stats().Accesses + h.L3.Stats().Accesses
+	cacheAccessCounter.Add(int64(s))
+}
 
 // MixProfile is an instruction-distribution measurement in ldstmix order
 // (NO_MEM, MEM_R, MEM_W, MEM_RW).
@@ -48,7 +61,9 @@ type CPIProfile struct {
 }
 
 // WholeMix replays the whole program with ldstmix attached.
-func (a *Analysis) WholeMix() MixProfile {
+func (a *Analysis) WholeMix(ctx context.Context) MixProfile {
+	_, span := obs.Start(ctx, "whole_mix", obs.String("bench", a.Prog.Name))
+	defer span.End()
 	mix := pintool.NewLdStMix()
 	engine := pin.NewEngine(a.Prog)
 	// Attach cannot fail for a tool with event interfaces.
@@ -60,7 +75,9 @@ func (a *Analysis) WholeMix() MixProfile {
 }
 
 // WholeCache replays the whole program through a cache hierarchy.
-func (a *Analysis) WholeCache(cfg cache.HierarchyConfig) (CacheProfile, error) {
+func (a *Analysis) WholeCache(ctx context.Context, cfg cache.HierarchyConfig) (CacheProfile, error) {
+	_, span := obs.Start(ctx, "whole_cache", obs.String("bench", a.Prog.Name))
+	defer span.End()
 	h, err := cache.NewHierarchy(cfg)
 	if err != nil {
 		return CacheProfile{}, err
@@ -70,6 +87,7 @@ func (a *Analysis) WholeCache(cfg cache.HierarchyConfig) (CacheProfile, error) {
 		return CacheProfile{}, err
 	}
 	n := engine.RunToEnd()
+	countHierarchy(h)
 	l1d, l2, l3 := h.MissRates()
 	return CacheProfile{
 		L1D: l1d, L2: l2, L3: l3, L1I: h.L1I.Stats().MissRate(),
@@ -79,7 +97,9 @@ func (a *Analysis) WholeCache(cfg cache.HierarchyConfig) (CacheProfile, error) {
 }
 
 // WholeCPI runs the whole program on the given timing machine.
-func (a *Analysis) WholeCPI(cfg timing.Config) (CPIProfile, error) {
+func (a *Analysis) WholeCPI(ctx context.Context, cfg timing.Config) (CPIProfile, error) {
+	_, span := obs.Start(ctx, "whole_cpi", obs.String("bench", a.Prog.Name))
+	defer span.End()
 	core, err := timing.NewCore(cfg)
 	if err != nil {
 		return CPIProfile{}, err
@@ -95,12 +115,12 @@ func (a *Analysis) WholeCPI(cfg timing.Config) (CPIProfile, error) {
 
 // SampledMix replays regional pinballs (in parallel) with ldstmix attached
 // and weight-averages the category fractions.
-func (a *Analysis) SampledMix(pbs []*pinball.Pinball) (MixProfile, error) {
+func (a *Analysis) SampledMix(ctx context.Context, pbs []*pinball.Pinball) (MixProfile, error) {
 	if len(pbs) == 0 {
 		return MixProfile{}, fmt.Errorf("core: no pinballs")
 	}
 	mixes := make([]*pintool.LdStMix, len(pbs))
-	results := pinball.ReplayAll(a.Prog, pbs, a.Config.Workers, func(i int) []pin.Tool {
+	results := pinball.ReplayAll(ctx, a.Prog, pbs, a.Config.Workers, func(i int) []pin.Tool {
 		mixes[i] = pintool.NewLdStMix()
 		return []pin.Tool{mixes[i]}
 	})
@@ -133,12 +153,12 @@ func (a *Analysis) SampledMix(pbs []*pinball.Pinball) (MixProfile, error) {
 // and weight-averages the per-region miss rates. Pinballs carrying warm-up
 // checkpoints get their hierarchies warmed first (the "Warmup Regional Run"
 // of Figure 8).
-func (a *Analysis) SampledCache(pbs []*pinball.Pinball, cfg cache.HierarchyConfig) (CacheProfile, error) {
+func (a *Analysis) SampledCache(ctx context.Context, pbs []*pinball.Pinball, cfg cache.HierarchyConfig) (CacheProfile, error) {
 	if len(pbs) == 0 {
 		return CacheProfile{}, fmt.Errorf("core: no pinballs")
 	}
 	caches := make([]*cache.Hierarchy, len(pbs))
-	results := pinball.ReplayAll(a.Prog, pbs, a.Config.Workers, func(i int) []pin.Tool {
+	results := pinball.ReplayAll(ctx, a.Prog, pbs, a.Config.Workers, func(i int) []pin.Tool {
 		h, err := cache.NewHierarchy(cfg)
 		if err != nil {
 			panic(err) // config was validated by the first construction
@@ -158,6 +178,7 @@ func (a *Analysis) SampledCache(pbs []*pinball.Pinball, cfg cache.HierarchyConfi
 		}
 		weights[i] = pbs[i].Weight
 		h := caches[i]
+		countHierarchy(h)
 		l1d[i], l2[i], l3[i] = h.MissRates()
 		l1i[i] = h.L1I.Stats().MissRate()
 		l3Acc += h.L3.Stats().Accesses
@@ -178,7 +199,7 @@ func (a *Analysis) SampledCache(pbs []*pinball.Pinball, cfg cache.HierarchyConfi
 // (Section IV-D): each regional pinball is replayed `rounds` times against
 // the same hierarchy, exercising the LLC, and only the final replay is
 // measured. rounds = 1 equals SampledCache.
-func (a *Analysis) SampledCacheRepeated(pbs []*pinball.Pinball, cfg cache.HierarchyConfig, rounds int) (CacheProfile, error) {
+func (a *Analysis) SampledCacheRepeated(ctx context.Context, pbs []*pinball.Pinball, cfg cache.HierarchyConfig, rounds int) (CacheProfile, error) {
 	if len(pbs) == 0 {
 		return CacheProfile{}, fmt.Errorf("core: no pinballs")
 	}
@@ -187,7 +208,7 @@ func (a *Analysis) SampledCacheRepeated(pbs []*pinball.Pinball, cfg cache.Hierar
 	}
 	caches := make([]*cache.Hierarchy, len(pbs))
 	warmRounds := rounds - 1
-	results := pinball.ReplayAll(a.Prog, pbs, a.Config.Workers, func(i int) []pin.Tool {
+	results := pinball.ReplayAll(ctx, a.Prog, pbs, a.Config.Workers, func(i int) []pin.Tool {
 		h, err := cache.NewHierarchy(cfg)
 		if err != nil {
 			panic(err)
@@ -217,6 +238,7 @@ func (a *Analysis) SampledCacheRepeated(pbs []*pinball.Pinball, cfg cache.Hierar
 		}
 		weights[i] = pbs[i].Weight
 		h := caches[i]
+		countHierarchy(h)
 		l1d[i], l2[i], l3[i] = h.MissRates()
 		l1i[i] = h.L1I.Stats().MissRate()
 		l3Acc += h.L3.Stats().Accesses
@@ -240,13 +262,16 @@ func (a *Analysis) SampledCacheRepeated(pbs []*pinball.Pinball, cfg cache.Hierar
 // warm-up-checkpoint mitigation this needs no state prior to the region —
 // useful when only the regional pinballs themselves are available — at the
 // cost of measuring a shorter sample.
-func (a *Analysis) SampledCacheSplit(pbs []*pinball.Pinball, cfg cache.HierarchyConfig, warmFrac float64) (CacheProfile, error) {
+func (a *Analysis) SampledCacheSplit(ctx context.Context, pbs []*pinball.Pinball, cfg cache.HierarchyConfig, warmFrac float64) (CacheProfile, error) {
 	if len(pbs) == 0 {
 		return CacheProfile{}, fmt.Errorf("core: no pinballs")
 	}
 	if warmFrac < 0 || warmFrac >= 1 {
 		return CacheProfile{}, fmt.Errorf("core: warm fraction %v out of [0,1)", warmFrac)
 	}
+	_, span := obs.Start(ctx, "replay_split",
+		obs.String("bench", a.Prog.Name), obs.Int("pinballs", len(pbs)))
+	defer span.End()
 	weights := make([]float64, len(pbs))
 	l1d := make([]float64, len(pbs))
 	l2 := make([]float64, len(pbs))
@@ -254,6 +279,9 @@ func (a *Analysis) SampledCacheSplit(pbs []*pinball.Pinball, cfg cache.Hierarchy
 	l1i := make([]float64, len(pbs))
 	var l3Acc, instrs uint64
 	for i, pb := range pbs {
+		if err := ctx.Err(); err != nil {
+			return CacheProfile{}, err
+		}
 		h, err := cache.NewHierarchy(cfg)
 		if err != nil {
 			return CacheProfile{}, err
@@ -278,6 +306,7 @@ func (a *Analysis) SampledCacheSplit(pbs []*pinball.Pinball, cfg cache.Hierarchy
 			instrs += engine.Run(pb.Len - ran)
 		}
 		weights[i] = pb.Weight
+		countHierarchy(h)
 		l1d[i], l2[i], l3[i] = h.MissRates()
 		l1i[i] = h.L1I.Stats().MissRate()
 		l3Acc += h.L3.Stats().Accesses
@@ -304,12 +333,12 @@ func stripWarmup(pb *pinball.Pinball) *pinball.Pinball {
 
 // SampledCPI replays regional pinballs on private timing cores and
 // weight-averages their CPIs.
-func (a *Analysis) SampledCPI(pbs []*pinball.Pinball, cfg timing.Config) (CPIProfile, error) {
+func (a *Analysis) SampledCPI(ctx context.Context, pbs []*pinball.Pinball, cfg timing.Config) (CPIProfile, error) {
 	if len(pbs) == 0 {
 		return CPIProfile{}, fmt.Errorf("core: no pinballs")
 	}
 	cores := make([]*timing.Core, len(pbs))
-	results := pinball.ReplayAll(a.Prog, pbs, a.Config.Workers, func(i int) []pin.Tool {
+	results := pinball.ReplayAll(ctx, a.Prog, pbs, a.Config.Workers, func(i int) []pin.Tool {
 		core, err := timing.NewCore(cfg)
 		if err != nil {
 			panic(err)

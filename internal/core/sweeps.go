@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"specsampling/internal/cache"
+	"specsampling/internal/obs"
 	"specsampling/internal/pin"
 	"specsampling/internal/pinball"
 	"specsampling/internal/pintool"
@@ -28,14 +30,14 @@ type SweepPoint struct {
 // SweepMaxK re-clusters the analysis at each MaxK and measures instruction
 // mix and cache miss rates through the resulting simulation points — the
 // paper's Figure 3(a) sensitivity study.
-func (a *Analysis) SweepMaxK(maxKs []int, hier cache.HierarchyConfig) ([]SweepPoint, error) {
+func (a *Analysis) SweepMaxK(ctx context.Context, maxKs []int, hier cache.HierarchyConfig) ([]SweepPoint, error) {
 	out := make([]SweepPoint, 0, len(maxKs))
 	for _, k := range maxKs {
-		res, err := a.Recluster(k)
+		res, err := a.Recluster(ctx, k)
 		if err != nil {
 			return nil, fmt.Errorf("core: MaxK=%d: %w", k, err)
 		}
-		pt, err := a.measure(res, fmt.Sprintf("MaxK=%d", k), hier)
+		pt, err := a.measure(ctx, res, fmt.Sprintf("MaxK=%d", k), hier)
 		if err != nil {
 			return nil, err
 		}
@@ -48,16 +50,16 @@ func (a *Analysis) SweepMaxK(maxKs []int, hier cache.HierarchyConfig) ([]SweepPo
 // measures mix and miss rates through the resulting simulation points —
 // the paper's Figure 3(b) study. Slice lengths are given in paper-scale
 // instructions (15 M, 25 M, ...) and converted through the analysis scale.
-func SweepSliceSize(spec workload.Spec, cfg Config, paperSizes []uint64, hier cache.HierarchyConfig) ([]SweepPoint, error) {
+func SweepSliceSize(ctx context.Context, spec workload.Spec, cfg Config, paperSizes []uint64, hier cache.HierarchyConfig) ([]SweepPoint, error) {
 	out := make([]SweepPoint, 0, len(paperSizes))
 	for _, paper := range paperSizes {
 		sub := cfg
 		sub.SliceLen = cfg.Scale.SliceLenForPaperSize(paper)
-		an, err := Analyze(spec, sub)
+		an, err := Analyze(ctx, spec, sub)
 		if err != nil {
 			return nil, fmt.Errorf("core: slice %dM: %w", paper/1_000_000, err)
 		}
-		pt, err := an.measure(an.Result, fmt.Sprintf("slice=%dM", paper/1_000_000), hier)
+		pt, err := an.measure(ctx, an.Result, fmt.Sprintf("slice=%dM", paper/1_000_000), hier)
 		if err != nil {
 			return nil, err
 		}
@@ -67,16 +69,16 @@ func SweepSliceSize(spec workload.Spec, cfg Config, paperSizes []uint64, hier ca
 }
 
 // measure cuts pinballs for a result and collects mix + cache profiles.
-func (a *Analysis) measure(res *simpoint.Result, label string, hier cache.HierarchyConfig) (SweepPoint, error) {
+func (a *Analysis) measure(ctx context.Context, res *simpoint.Result, label string, hier cache.HierarchyConfig) (SweepPoint, error) {
 	pbs, err := a.Pinballs(res, 0)
 	if err != nil {
 		return SweepPoint{}, err
 	}
-	mix, err := a.SampledMix(pbs)
+	mix, err := a.SampledMix(ctx, pbs)
 	if err != nil {
 		return SweepPoint{}, err
 	}
-	cp, err := a.SampledCache(pbs, hier)
+	cp, err := a.SampledCache(ctx, pbs, hier)
 	if err != nil {
 		return SweepPoint{}, err
 	}
@@ -126,7 +128,10 @@ func (rc RunComparison) TimeReduction() (regional, reduced float64) {
 
 // CompareRuns executes whole, regional and reduced-regional runs with the
 // inscount Pintool and measures instructions and serial wall-clock time.
-func (a *Analysis) CompareRuns(percentile float64) (RunComparison, error) {
+func (a *Analysis) CompareRuns(ctx context.Context, percentile float64) (RunComparison, error) {
+	_, span := obs.Start(ctx, "compare_runs",
+		obs.String("bench", a.Prog.Name), obs.Float("percentile", percentile))
+	defer span.End()
 	var rc RunComparison
 	rc.NumPoints = a.Result.NumPoints()
 
@@ -154,6 +159,9 @@ func (a *Analysis) CompareRuns(percentile float64) (RunComparison, error) {
 		var instrs uint64
 		begin := time.Now()
 		for _, pb := range pbs {
+			if err := ctx.Err(); err != nil {
+				return 0, 0, err
+			}
 			n, err := pinball.Replay(a.Prog, pb, pintool.NewInsCount())
 			if err != nil {
 				return 0, 0, err
@@ -189,7 +197,7 @@ type PercentilePoint struct {
 // PercentileSweep reduces the analysis result at each percentile and
 // measures mix, miss rates and replay time — the paper's Figure 9
 // accuracy-vs-runtime trade-off.
-func (a *Analysis) PercentileSweep(percentiles []float64, hier cache.HierarchyConfig) ([]PercentilePoint, error) {
+func (a *Analysis) PercentileSweep(ctx context.Context, percentiles []float64, hier cache.HierarchyConfig) ([]PercentilePoint, error) {
 	out := make([]PercentilePoint, 0, len(percentiles))
 	for _, pct := range percentiles {
 		res, err := a.Result.Reduce(pct)
@@ -201,11 +209,11 @@ func (a *Analysis) PercentileSweep(percentiles []float64, hier cache.HierarchyCo
 			return nil, err
 		}
 		begin := time.Now()
-		mix, err := a.SampledMix(pbs)
+		mix, err := a.SampledMix(ctx, pbs)
 		if err != nil {
 			return nil, err
 		}
-		cp, err := a.SampledCache(pbs, hier)
+		cp, err := a.SampledCache(ctx, pbs, hier)
 		if err != nil {
 			return nil, err
 		}

@@ -24,15 +24,15 @@ func figureSnapshot(t *testing.T, workers int) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.Prewarm("all"); err != nil {
+	if err := r.Prewarm(tctx, "all"); err != nil {
 		t.Fatal(err)
 	}
 
-	tableII, err := r.TableII()
+	tableII, err := r.TableII(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fig5, err := r.Fig5()
+	fig5, err := r.Fig5(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,19 +47,19 @@ func figureSnapshot(t *testing.T, workers int) string {
 		fig5.Rows[i].Comparison.RegionalTime = 0
 		fig5.Rows[i].Comparison.ReducedTime = 0
 	}
-	fig6, err := r.Fig6()
+	fig6, err := r.Fig6(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fig7, err := r.Fig7()
+	fig7, err := r.Fig7(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fig8, err := r.Fig8()
+	fig8, err := r.Fig8(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fig9, err := r.Fig9(nil)
+	fig9, err := r.Fig9(tctx, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func figureSnapshot(t *testing.T, workers int) string {
 	for i := range fig9 {
 		fig9[i].ReplayTime = 0
 	}
-	fig12, err := r.Fig12()
+	fig12, err := r.Fig12(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}

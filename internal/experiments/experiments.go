@@ -14,11 +14,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"specsampling/internal/cache"
 	"specsampling/internal/core"
+	"specsampling/internal/obs"
 	"specsampling/internal/sched"
 	"specsampling/internal/timing"
 	"specsampling/internal/workload"
@@ -27,7 +30,9 @@ import (
 // fig3Benchmark is the subject of the paper's Figure 3 sensitivity studies.
 const fig3Benchmark = "623.xalancbmk_s"
 
-// Options configures a Runner.
+// Options configures a Runner. The zero value is safe: Normalize resolves
+// the scale to ScaleMedium, the benchmark list to the full suite, and the
+// analysis defaults to the paper's configuration.
 type Options struct {
 	// Scale selects the workload scale; the zero value means ScaleMedium.
 	Scale workload.Scale
@@ -35,16 +40,33 @@ type Options struct {
 	Benchmarks []string
 	// Workers bounds the suite-level fan-out (per-benchmark analyses and
 	// figure loops) and the parallel replay within each analysis; <= 0 uses
-	// GOMAXPROCS. All results are identical for every worker count.
+	// GOMAXPROCS (via sched.Workers). All results are identical for every
+	// worker count.
 	Workers int
 	// Out receives the text renditions; nil discards them.
 	Out io.Writer
+}
+
+// Normalize resolves zero values to their documented defaults. Idempotent;
+// New calls it, so sparse literals are safe.
+func (o Options) Normalize() Options {
+	if o.Scale.Name == "" {
+		o.Scale = workload.ScaleMedium
+	}
+	return o
 }
 
 // Runner executes experiments with shared, cached analyses.
 type Runner struct {
 	opts  Options
 	specs []workload.Spec
+	// cfg is the single analysis configuration every experiment derives
+	// from: core defaults at the runner's scale plus the worker budget.
+	// Figures that override a knob (Fig3b's slice length) copy it.
+	cfg core.Config
+
+	// analyzed counts completed per-benchmark analyses for progress events.
+	analyzed atomic.Int64
 
 	// Singleflight caches: concurrent figures requesting the same
 	// benchmark share one computation instead of duplicating it.
@@ -56,9 +78,7 @@ type Runner struct {
 
 // New builds a runner. Unknown benchmark names are reported immediately.
 func New(opts Options) (*Runner, error) {
-	if opts.Scale.Name == "" {
-		opts.Scale = workload.ScaleMedium
-	}
+	opts = opts.Normalize()
 	var specs []workload.Spec
 	if len(opts.Benchmarks) == 0 {
 		specs = workload.Suite()
@@ -71,7 +91,21 @@ func New(opts Options) (*Runner, error) {
 			specs = append(specs, s)
 		}
 	}
-	return &Runner{opts: opts, specs: specs}, nil
+	cfg := core.DefaultConfig(opts.Scale)
+	cfg.Workers = opts.Workers
+	return &Runner{opts: opts, specs: specs, cfg: cfg}, nil
+}
+
+// Config returns the unified analysis configuration the runner hands to
+// core.Analyze (scale, MaxK, BIC threshold, seed, worker budget).
+func (r *Runner) Config() core.Config { return r.cfg }
+
+// Describe summarises the run configuration in one line — the header the
+// paper-scale tools print before starting work.
+func (r *Runner) Describe() string {
+	return fmt.Sprintf("scale=%s slice=%d maxk=%d seed=%d workers=%d benchmarks=%d",
+		r.opts.Scale.Name, r.opts.Scale.SliceLen, r.cfg.MaxK, r.cfg.Seed,
+		r.workers(), len(r.specs))
 }
 
 // Scale returns the runner's workload scale.
@@ -97,38 +131,39 @@ func (r *Runner) workers() int { return sched.Workers(r.opts.Workers) }
 // forEachSpec fans fn out over the selected benchmarks across the worker
 // budget. fn receives the benchmark's suite index so it can write results
 // into index-addressed slots, keeping output order schedule-independent.
-func (r *Runner) forEachSpec(fn func(i int, spec workload.Spec) error) error {
-	return sched.ForEach(r.workers(), len(r.specs), func(i int) error {
+func (r *Runner) forEachSpec(ctx context.Context, fn func(i int, spec workload.Spec) error) error {
+	return sched.ForEach(ctx, r.workers(), len(r.specs), func(i int) error {
 		return fn(i, r.specs[i])
 	})
 }
 
 // analysis returns (and caches) the benchmark's SimPoint analysis. The
 // compute is wrapped in a per-key singleflight, so two figures racing for
-// the same benchmark run core.Analyze once and share the result.
-func (r *Runner) analysis(spec workload.Spec) (*core.Analysis, error) {
-	return r.analyses.Do(spec.Name, func() (*core.Analysis, error) {
-		cfg := core.DefaultConfig(r.opts.Scale)
-		cfg.Workers = r.opts.Workers
-		an, err := core.Analyze(spec, cfg)
+// the same benchmark run core.Analyze once and share the result. Completed
+// analyses emit one progress event each, so a live run shows per-benchmark
+// advancement through the dominant pipeline stage.
+func (r *Runner) analysis(ctx context.Context, spec workload.Spec) (*core.Analysis, error) {
+	return r.analyses.Do(ctx, spec.Name, func() (*core.Analysis, error) {
+		an, err := core.Analyze(ctx, spec, r.cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: analyze %s: %w", spec.Name, err)
 		}
+		obs.Progress("analyze", int(r.analyzed.Add(1)), len(r.specs), spec.Name)
 		return an, nil
 	})
 }
 
 // wholeCache returns (and caches) the benchmark's whole-run cache profile.
-func (r *Runner) wholeCache(an *core.Analysis) (core.CacheProfile, error) {
-	return r.wholeC.Do(an.Spec.Name, func() (core.CacheProfile, error) {
-		return an.WholeCache(r.CacheConfig())
+func (r *Runner) wholeCache(ctx context.Context, an *core.Analysis) (core.CacheProfile, error) {
+	return r.wholeC.Do(ctx, an.Spec.Name, func() (core.CacheProfile, error) {
+		return an.WholeCache(ctx, r.CacheConfig())
 	})
 }
 
 // wholeMix returns (and caches) the benchmark's whole-run instruction mix.
-func (r *Runner) wholeMix(an *core.Analysis) core.MixProfile {
-	mp, _ := r.wholeM.Do(an.Spec.Name, func() (core.MixProfile, error) {
-		return an.WholeMix(), nil
+func (r *Runner) wholeMix(ctx context.Context, an *core.Analysis) core.MixProfile {
+	mp, _ := r.wholeM.Do(ctx, an.Spec.Name, func() (core.MixProfile, error) {
+		return an.WholeMix(ctx), nil
 	})
 	return mp
 }
@@ -164,7 +199,7 @@ type prewarmNeeds struct {
 // replay cost. Calling Prewarm is never required — the figure loops are
 // parallel and the caches are singleflight either way — but it front-loads
 // the dominant cost into one suite-wide fan-out.
-func (r *Runner) Prewarm(ids ...string) error {
+func (r *Runner) Prewarm(ctx context.Context, ids ...string) error {
 	var suite, suiteMix, suiteCache, fig3 bool
 	for _, id := range ids {
 		switch id {
@@ -209,76 +244,82 @@ func (r *Runner) Prewarm(ids ...string) error {
 			jobs = append(jobs, prewarmNeeds{spec: spec, mix: true, cache: true})
 		}
 	}
-	return sched.ForEach(r.workers(), len(jobs), func(i int) error {
+	return sched.ForEach(ctx, r.workers(), len(jobs), func(i int) error {
 		job := jobs[i]
-		an, err := r.analysis(job.spec)
+		an, err := r.analysis(ctx, job.spec)
 		if err != nil {
 			return err
 		}
 		if job.mix {
-			r.wholeMix(an)
+			r.wholeMix(ctx, an)
 		}
 		if !job.cache {
 			return nil
 		}
-		_, err = r.wholeCache(an)
+		_, err = r.wholeCache(ctx, an)
 		return err
 	})
 }
 
 // Run executes one experiment by id ("all" prewarms the shared analyses in
-// parallel, then runs every experiment in paper order).
-func (r *Runner) Run(id string) error {
+// parallel, then runs every experiment in paper order). The run announces
+// its configuration through the progress sink on entry; ctx cancellation
+// aborts between (and inside) stages.
+func (r *Runner) Run(ctx context.Context, id string) error {
+	obs.Headerf("%s", r.Describe())
 	run := func(id string) error {
+		ctx, span := obs.Start(ctx, "experiment", obs.String("id", id))
+		defer span.End()
 		switch id {
 		case "tableI":
 			r.TableI()
 			return nil
 		case "tableII":
-			_, err := r.TableII()
+			_, err := r.TableII(ctx)
 			return err
 		case "tableIII":
 			r.TableIII()
 			return nil
 		case "fig3a":
-			_, err := r.Fig3a(fig3Benchmark, nil)
+			_, err := r.Fig3a(ctx, fig3Benchmark, nil)
 			return err
 		case "fig3b":
-			_, err := r.Fig3b(fig3Benchmark, nil)
+			_, err := r.Fig3b(ctx, fig3Benchmark, nil)
 			return err
 		case "fig4":
-			_, err := r.Fig4(nil)
+			_, err := r.Fig4(ctx, nil)
 			return err
 		case "fig5":
-			_, err := r.Fig5()
+			_, err := r.Fig5(ctx)
 			return err
 		case "fig6":
-			_, err := r.Fig6()
+			_, err := r.Fig6(ctx)
 			return err
 		case "fig7":
-			_, err := r.Fig7()
+			_, err := r.Fig7(ctx)
 			return err
 		case "fig8":
-			_, err := r.Fig8()
+			_, err := r.Fig8(ctx)
 			return err
 		case "fig9":
-			_, err := r.Fig9(nil)
+			_, err := r.Fig9(ctx, nil)
 			return err
 		case "fig10":
-			_, err := r.Fig10()
+			_, err := r.Fig10(ctx)
 			return err
 		case "fig12":
-			_, err := r.Fig12()
+			_, err := r.Fig12(ctx)
 			return err
 		default:
 			return fmt.Errorf("experiments: unknown experiment %q (want one of %v or all)", id, IDs())
 		}
 	}
 	if id == "all" {
-		if err := r.Prewarm("all"); err != nil {
+		if err := r.Prewarm(ctx, "all"); err != nil {
 			return err
 		}
-		for _, each := range IDs() {
+		for i, each := range IDs() {
+			obs.Progress("experiment", i+1, len(IDs()), each)
 			if err := run(each); err != nil {
 				return err
 			}

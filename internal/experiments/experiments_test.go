@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"strings"
@@ -9,6 +10,9 @@ import (
 
 	"specsampling/internal/workload"
 )
+
+// tctx is the background context the package's tests thread through Runner.
+var tctx = context.Background()
 
 // testRunner uses a 4-benchmark subset at small scale so the whole
 // experiment suite stays fast; the selected benchmarks cover the paper's
@@ -48,7 +52,7 @@ func TestNewValidation(t *testing.T) {
 
 func TestRunUnknownID(t *testing.T) {
 	r := testRunner(t, nil)
-	if err := r.Run("fig99"); err == nil {
+	if err := r.Run(tctx, "fig99"); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
@@ -85,7 +89,7 @@ func TestTablesPrint(t *testing.T) {
 
 func TestTableIIShape(t *testing.T) {
 	r := testRunner(t, nil)
-	res, err := r.TableII()
+	res, err := r.TableII(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +116,7 @@ func TestTableIIShape(t *testing.T) {
 
 func TestFig3aShape(t *testing.T) {
 	r := testRunner(t, nil)
-	res, err := r.Fig3a("505.mcf_r", []int{3, 20})
+	res, err := r.Fig3a(tctx, "505.mcf_r", []int{3, 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +141,7 @@ func TestFig3aShape(t *testing.T) {
 
 func TestFig3bShape(t *testing.T) {
 	r := testRunner(t, nil)
-	res, err := r.Fig3b("505.mcf_r", []uint64{15_000_000, 30_000_000})
+	res, err := r.Fig3b(tctx, "505.mcf_r", []uint64{15_000_000, 30_000_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +161,7 @@ func TestFig3bShape(t *testing.T) {
 
 func TestFig4VarianceDecreases(t *testing.T) {
 	r := testRunner(t, nil)
-	res, err := r.Fig4([]int{5, 20})
+	res, err := r.Fig4(tctx, []int{5, 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +174,7 @@ func TestFig4VarianceDecreases(t *testing.T) {
 
 func TestFig5Reductions(t *testing.T) {
 	r := testRunner(t, nil)
-	res, err := r.Fig5()
+	res, err := r.Fig5(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +196,7 @@ func TestFig5Reductions(t *testing.T) {
 
 func TestFig6WeightShapes(t *testing.T) {
 	r := testRunner(t, nil)
-	rows, err := r.Fig6()
+	rows, err := r.Fig6(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +229,7 @@ func TestFig6WeightShapes(t *testing.T) {
 
 func TestFig7ErrorsSmall(t *testing.T) {
 	r := testRunner(t, nil)
-	res, err := r.Fig7()
+	res, err := r.Fig7(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +251,7 @@ func TestFig7ErrorsSmall(t *testing.T) {
 
 func TestFig8GradientAndWarmup(t *testing.T) {
 	r := testRunner(t, nil)
-	res, err := r.Fig8()
+	res, err := r.Fig8(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +270,7 @@ func TestFig8GradientAndWarmup(t *testing.T) {
 		t.Errorf("L1D regional diff %v%% too large", res.RegionalDiff[0])
 	}
 	// Fig8 result is cached.
-	again, err := r.Fig8()
+	again, err := r.Fig8(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +281,7 @@ func TestFig8GradientAndWarmup(t *testing.T) {
 
 func TestFig9ErrorRisesAsPercentileDrops(t *testing.T) {
 	r := testRunner(t, nil)
-	pts, err := r.Fig9([]float64{1.0, 0.5})
+	pts, err := r.Fig9(tctx, []float64{1.0, 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +298,7 @@ func TestFig9ErrorRisesAsPercentileDrops(t *testing.T) {
 
 func TestFig10AccessesShrink(t *testing.T) {
 	r := testRunner(t, nil)
-	rows, err := r.Fig10()
+	rows, err := r.Fig10(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +315,7 @@ func TestFig10AccessesShrink(t *testing.T) {
 
 func TestFig12CPICorrelation(t *testing.T) {
 	r := testRunner(t, nil)
-	res, err := r.Fig12()
+	res, err := r.Fig12(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -346,7 +350,7 @@ func TestRunAllOnSingleBenchmark(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.Run("all"); err != nil {
+	if err := r.Run(tctx, "all"); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"Table I", "Table II", "Table III",
@@ -362,7 +366,7 @@ func TestRunRecordedCollectsResults(t *testing.T) {
 	r := testRunner(t, nil)
 	report := NewReport()
 	for _, id := range []string{"fig6", "tableII", "fig5"} {
-		if err := r.RunRecorded(id, report); err != nil {
+		if err := r.RunRecorded(tctx, id, report); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -381,11 +385,11 @@ func TestRunRecordedCollectsResults(t *testing.T) {
 	if !ok || len(results) != 3 {
 		t.Errorf("JSON results = %v", decoded["results"])
 	}
-	if err := r.RunRecorded("fig99", report); err == nil {
+	if err := r.RunRecorded(tctx, "fig99", report); err == nil {
 		t.Error("unknown id accepted")
 	}
 	// tableI runs but records nothing (pure config print).
-	if err := r.RunRecorded("tableI", report); err != nil {
+	if err := r.RunRecorded(tctx, "tableI", report); err != nil {
 		t.Fatal(err)
 	}
 	if report.Len() != 3 {

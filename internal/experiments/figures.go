@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -34,7 +35,7 @@ type SweepResult struct {
 // Fig3a sweeps MaxK for one benchmark (the paper shows xalancbmk_s) at
 // values 15..35 and compares instruction mix and cache miss rates against
 // the full run. Passing nil maxKs uses the paper's {15, 20, 25, 30, 35}.
-func (r *Runner) Fig3a(bench string, maxKs []int) (*SweepResult, error) {
+func (r *Runner) Fig3a(ctx context.Context, bench string, maxKs []int) (*SweepResult, error) {
 	if maxKs == nil {
 		maxKs = []int{15, 20, 25, 30, 35}
 	}
@@ -42,16 +43,16 @@ func (r *Runner) Fig3a(bench string, maxKs []int) (*SweepResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	an, err := r.analysis(spec)
+	an, err := r.analysis(ctx, spec)
 	if err != nil {
 		return nil, err
 	}
 	res := &SweepResult{Benchmark: spec.Name}
-	res.Whole.Mix = r.wholeMix(an)
-	if res.Whole.Cache, err = r.wholeCache(an); err != nil {
+	res.Whole.Mix = r.wholeMix(ctx, an)
+	if res.Whole.Cache, err = r.wholeCache(ctx, an); err != nil {
 		return nil, err
 	}
-	if res.Points, err = an.SweepMaxK(maxKs, r.CacheConfig()); err != nil {
+	if res.Points, err = an.SweepMaxK(ctx, maxKs, r.CacheConfig()); err != nil {
 		return nil, err
 	}
 	r.printSweep("Figure 3(a): MaxK sensitivity, "+spec.Name, res)
@@ -61,7 +62,7 @@ func (r *Runner) Fig3a(bench string, maxKs []int) (*SweepResult, error) {
 // Fig3b sweeps the slice size for one benchmark at MaxK 35, with the
 // paper's {15, 25, 30, 50, 100} M-instruction slice sizes mapped through
 // the runner's scale.
-func (r *Runner) Fig3b(bench string, paperSizes []uint64) (*SweepResult, error) {
+func (r *Runner) Fig3b(ctx context.Context, bench string, paperSizes []uint64) (*SweepResult, error) {
 	if paperSizes == nil {
 		paperSizes = []uint64{15_000_000, 25_000_000, 30_000_000, 50_000_000, 100_000_000}
 	}
@@ -69,18 +70,16 @@ func (r *Runner) Fig3b(bench string, paperSizes []uint64) (*SweepResult, error) 
 	if err != nil {
 		return nil, err
 	}
-	an, err := r.analysis(spec)
+	an, err := r.analysis(ctx, spec)
 	if err != nil {
 		return nil, err
 	}
 	res := &SweepResult{Benchmark: spec.Name}
-	res.Whole.Mix = r.wholeMix(an)
-	if res.Whole.Cache, err = r.wholeCache(an); err != nil {
+	res.Whole.Mix = r.wholeMix(ctx, an)
+	if res.Whole.Cache, err = r.wholeCache(ctx, an); err != nil {
 		return nil, err
 	}
-	cfg := core.DefaultConfig(r.opts.Scale)
-	cfg.Workers = r.opts.Workers
-	if res.Points, err = core.SweepSliceSize(spec, cfg, paperSizes, r.CacheConfig()); err != nil {
+	if res.Points, err = core.SweepSliceSize(ctx, spec, r.cfg, paperSizes, r.CacheConfig()); err != nil {
 		return nil, err
 	}
 	r.printSweep("Figure 3(b): slice-size sensitivity, "+spec.Name, res)
@@ -115,18 +114,18 @@ type Fig4Result struct {
 // Fig4 measures, for every selected benchmark, the average variance in
 // phase similarity per cluster as the available cluster count shrinks.
 // Passing nil ks uses {5, 10, 15, 20, 25, 30, 35}.
-func (r *Runner) Fig4(ks []int) (*Fig4Result, error) {
+func (r *Runner) Fig4(ctx context.Context, ks []int) (*Fig4Result, error) {
 	if ks == nil {
 		ks = []int{5, 10, 15, 20, 25, 30, 35}
 	}
 	res := &Fig4Result{Ks: ks, Variance: map[string]map[int]float64{}}
 	sweeps := make([]map[int]float64, len(r.specs))
-	if err := r.forEachSpec(func(i int, spec workload.Spec) error {
-		an, err := r.analysis(spec)
+	if err := r.forEachSpec(ctx, func(i int, spec workload.Spec) error {
+		an, err := r.analysis(ctx, spec)
 		if err != nil {
 			return err
 		}
-		sweeps[i], err = an.VarianceSweep(ks)
+		sweeps[i], err = an.VarianceSweep(ctx, ks)
 		return err
 	}); err != nil {
 		return nil, err
@@ -173,14 +172,14 @@ type Fig5Result struct {
 
 // Fig5 compares dynamic instruction counts and execution times of Whole,
 // Regional, and Reduced Regional runs for every selected benchmark.
-func (r *Runner) Fig5() (*Fig5Result, error) {
+func (r *Runner) Fig5(ctx context.Context) (*Fig5Result, error) {
 	res := &Fig5Result{Rows: make([]Fig5Row, len(r.specs))}
-	if err := r.forEachSpec(func(i int, spec workload.Spec) error {
-		an, err := r.analysis(spec)
+	if err := r.forEachSpec(ctx, func(i int, spec workload.Spec) error {
+		an, err := r.analysis(ctx, spec)
 		if err != nil {
 			return err
 		}
-		rc, err := an.CompareRuns(0.9)
+		rc, err := an.CompareRuns(ctx, 0.9)
 		if err != nil {
 			return err
 		}
@@ -244,10 +243,10 @@ type Fig6Row struct {
 }
 
 // Fig6 reports the weight of each simulation point per benchmark.
-func (r *Runner) Fig6() ([]Fig6Row, error) {
+func (r *Runner) Fig6(ctx context.Context) ([]Fig6Row, error) {
 	rows := make([]Fig6Row, len(r.specs))
-	if err := r.forEachSpec(func(i int, spec workload.Spec) error {
-		an, err := r.analysis(spec)
+	if err := r.forEachSpec(ctx, func(i int, spec workload.Spec) error {
+		an, err := r.analysis(ctx, spec)
 		if err != nil {
 			return err
 		}
@@ -312,19 +311,19 @@ type Fig7Result struct {
 
 // Fig7 compares instruction distributions of Whole, Regional and Reduced
 // Regional runs for every selected benchmark.
-func (r *Runner) Fig7() (*Fig7Result, error) {
+func (r *Runner) Fig7(ctx context.Context) (*Fig7Result, error) {
 	res := &Fig7Result{Rows: make([]Fig7Row, len(r.specs))}
-	if err := r.forEachSpec(func(i int, spec workload.Spec) error {
-		an, err := r.analysis(spec)
+	if err := r.forEachSpec(ctx, func(i int, spec workload.Spec) error {
+		an, err := r.analysis(ctx, spec)
 		if err != nil {
 			return err
 		}
-		row := Fig7Row{Benchmark: spec.Name, Whole: r.wholeMix(an)}
+		row := Fig7Row{Benchmark: spec.Name, Whole: r.wholeMix(ctx, an)}
 		pbs, err := an.Pinballs(an.Result, 0)
 		if err != nil {
 			return err
 		}
-		if row.Regional, err = an.SampledMix(pbs); err != nil {
+		if row.Regional, err = an.SampledMix(ctx, pbs); err != nil {
 			return err
 		}
 		reduced, err := an.Result.Reduce(0.9)
@@ -335,7 +334,7 @@ func (r *Runner) Fig7() (*Fig7Result, error) {
 		if err != nil {
 			return err
 		}
-		if row.Reduced, err = an.SampledMix(rpbs); err != nil {
+		if row.Reduced, err = an.SampledMix(ctx, rpbs); err != nil {
 			return err
 		}
 		res.Rows[i] = row
@@ -425,26 +424,26 @@ type Fig8Result struct {
 // Fig8 measures L1D/L2/L3 miss rates for Whole, Regional, Reduced Regional
 // and Warmup Regional runs of every selected benchmark. The result is
 // cached; Fig10 shares it.
-func (r *Runner) Fig8() (*Fig8Result, error) {
+func (r *Runner) Fig8(ctx context.Context) (*Fig8Result, error) {
 	computed := false
-	res, err := r.fig8.Do(struct{}{}, func() (*Fig8Result, error) {
+	res, err := r.fig8.Do(ctx, struct{}{}, func() (*Fig8Result, error) {
 		computed = true
 		res := &Fig8Result{Rows: make([]Fig8Row, len(r.specs))}
 		hier := r.CacheConfig()
-		if err := r.forEachSpec(func(i int, spec workload.Spec) error {
-			an, err := r.analysis(spec)
+		if err := r.forEachSpec(ctx, func(i int, spec workload.Spec) error {
+			an, err := r.analysis(ctx, spec)
 			if err != nil {
 				return err
 			}
 			row := Fig8Row{Benchmark: spec.Name}
-			if row.Whole, err = r.wholeCache(an); err != nil {
+			if row.Whole, err = r.wholeCache(ctx, an); err != nil {
 				return err
 			}
 			pbs, err := an.Pinballs(an.Result, 0)
 			if err != nil {
 				return err
 			}
-			if row.Regional, err = an.SampledCache(pbs, hier); err != nil {
+			if row.Regional, err = an.SampledCache(ctx, pbs, hier); err != nil {
 				return err
 			}
 			reduced, err := an.Result.Reduce(0.9)
@@ -455,14 +454,14 @@ func (r *Runner) Fig8() (*Fig8Result, error) {
 			if err != nil {
 				return err
 			}
-			if row.Reduced, err = an.SampledCache(rpbs, hier); err != nil {
+			if row.Reduced, err = an.SampledCache(ctx, rpbs, hier); err != nil {
 				return err
 			}
 			wpbs, err := an.Pinballs(an.Result, DefaultWarmupSlices)
 			if err != nil {
 				return err
 			}
-			if row.Warmup, err = an.SampledCache(wpbs, hier); err != nil {
+			if row.Warmup, err = an.SampledCache(ctx, wpbs, hier); err != nil {
 				return err
 			}
 			res.Rows[i] = row
@@ -533,8 +532,8 @@ type Fig10Row struct {
 
 // Fig10 reports the number of L3 accesses by Whole, Regional and Reduced
 // Regional runs. It shares measurements with Fig8.
-func (r *Runner) Fig10() ([]Fig10Row, error) {
-	f8, err := r.Fig8()
+func (r *Runner) Fig10(ctx context.Context) ([]Fig10Row, error) {
+	f8, err := r.Fig8(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -575,7 +574,7 @@ type Fig9Point struct {
 // Fig9 sweeps the percentile of simulation points considered for execution
 // and reports suite-averaged error rates and execution time. Passing nil
 // uses the paper's 100..30 range in steps of 10.
-func (r *Runner) Fig9(percentiles []float64) ([]Fig9Point, error) {
+func (r *Runner) Fig9(ctx context.Context, percentiles []float64) ([]Fig9Point, error) {
 	if percentiles == nil {
 		percentiles = []float64{1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3}
 	}
@@ -592,16 +591,16 @@ func (r *Runner) Fig9(percentiles []float64) ([]Fig9Point, error) {
 		pts        []core.PercentilePoint
 	}
 	sweeps := make([]specSweep, len(r.specs))
-	if err := r.forEachSpec(func(i int, spec workload.Spec) error {
-		an, err := r.analysis(spec)
+	if err := r.forEachSpec(ctx, func(i int, spec workload.Spec) error {
+		an, err := r.analysis(ctx, spec)
 		if err != nil {
 			return err
 		}
-		sweeps[i].whole = r.wholeMix(an)
-		if sweeps[i].wholeCache, err = r.wholeCache(an); err != nil {
+		sweeps[i].whole = r.wholeMix(ctx, an)
+		if sweeps[i].wholeCache, err = r.wholeCache(ctx, an); err != nil {
 			return err
 		}
-		sweeps[i].pts, err = an.PercentileSweep(percentiles, hier)
+		sweeps[i].pts, err = an.PercentileSweep(ctx, percentiles, hier)
 		return err
 	}); err != nil {
 		return nil, err
@@ -663,11 +662,11 @@ type Fig12Result struct {
 
 // Fig12 compares whole-program native execution (perf counters) against
 // Sniper running Regional and Reduced Regional pinballs, on CPI.
-func (r *Runner) Fig12() (*Fig12Result, error) {
+func (r *Runner) Fig12(ctx context.Context) (*Fig12Result, error) {
 	res := &Fig12Result{Rows: make([]Fig12Row, len(r.specs))}
 	cfg := r.TimingConfig()
-	if err := r.forEachSpec(func(i int, spec workload.Spec) error {
-		an, err := r.analysis(spec)
+	if err := r.forEachSpec(ctx, func(i int, spec workload.Spec) error {
+		an, err := r.analysis(ctx, spec)
 		if err != nil {
 			return err
 		}
@@ -679,7 +678,7 @@ func (r *Runner) Fig12() (*Fig12Result, error) {
 		if err != nil {
 			return err
 		}
-		reg, err := an.SampledCPI(pbs, cfg)
+		reg, err := an.SampledCPI(ctx, pbs, cfg)
 		if err != nil {
 			return err
 		}
@@ -691,7 +690,7 @@ func (r *Runner) Fig12() (*Fig12Result, error) {
 		if err != nil {
 			return err
 		}
-		red, err := an.SampledCPI(rpbs, cfg)
+		red, err := an.SampledCPI(ctx, rpbs, cfg)
 		if err != nil {
 			return err
 		}

@@ -29,7 +29,7 @@ func TestPaperShapesMedium(t *testing.T) {
 	}
 
 	// Table II: average point counts in the paper's neighbourhood.
-	t2, err := r.TableII()
+	t2, err := r.TableII(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestPaperShapesMedium(t *testing.T) {
 
 	// Figure 5: large reductions, Reduced beyond Regional by roughly the
 	// paper's 1.7x.
-	f5, err := r.Fig5()
+	f5, err := r.Fig5(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestPaperShapesMedium(t *testing.T) {
 	}
 
 	// Figure 7: sub-1% mix errors, Reduced worse than Regional.
-	f7, err := r.Fig7()
+	f7, err := r.Fig7(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestPaperShapesMedium(t *testing.T) {
 	}
 
 	// Figure 8: error gradient L1D < L2 <= L3 and warm-up collapse.
-	f8, err := r.Fig8()
+	f8, err := r.Fig8(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestPaperShapesMedium(t *testing.T) {
 	}
 
 	// Figure 12: CPI error in single digits with high correlation.
-	f12, err := r.Fig12()
+	f12, err := r.Fig12(tctx)
 	if err != nil {
 		t.Fatal(err)
 	}

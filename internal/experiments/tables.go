@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
@@ -62,10 +63,10 @@ type TableIIResult struct {
 // TableII runs the SimPoint pipeline for every selected benchmark and
 // tabulates the number of simulation points and 90th-percentile simulation
 // points (the paper's Table II).
-func (r *Runner) TableII() (*TableIIResult, error) {
+func (r *Runner) TableII(ctx context.Context) (*TableIIResult, error) {
 	res := &TableIIResult{Rows: make([]TableIIRow, len(r.specs))}
-	if err := r.forEachSpec(func(i int, spec workload.Spec) error {
-		an, err := r.analysis(spec)
+	if err := r.forEachSpec(ctx, func(i int, spec workload.Spec) error {
+		an, err := r.analysis(ctx, spec)
 		if err != nil {
 			return err
 		}

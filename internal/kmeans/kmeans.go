@@ -16,10 +16,21 @@ package kmeans
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sync"
+	"time"
 
+	"specsampling/internal/obs"
 	"specsampling/internal/rng"
+	"specsampling/internal/sched"
+)
+
+// Clustering metrics: restart/iteration counts are always-on atomics;
+// candidate-k timings are observed only when a tracer is installed.
+var (
+	runCounter     = obs.GetCounter("kmeans.runs")
+	restartCounter = obs.GetCounter("kmeans.restarts")
+	iterCounter    = obs.GetCounter("kmeans.lloyd_iters")
+	candidateKMS   = obs.GetHistogram("kmeans.candidate_k_ms")
 )
 
 // Config controls a clustering run.
@@ -45,6 +56,26 @@ type Config struct {
 // DefaultConfig returns the configuration used throughout the reproduction.
 func DefaultConfig(seed uint64) Config {
 	return Config{Restarts: 3, MaxIter: 40, Seed: seed, SampleSize: 4096}
+}
+
+// Normalize resolves zero values to their documented defaults: Restarts 1,
+// MaxIter 40 (Workers stays as-is and resolves through sched.Workers at the
+// point of use, so a Config normalised on one machine is portable to
+// another). This is the single place kmeans defaults live; Run and BestK
+// call it on entry, so a zero Config (plus a k) is always safe.
+//
+// Note the deliberate asymmetry with DefaultConfig: a zero Restarts
+// normalises to 1 — the historical behaviour direct Run callers rely on for
+// bit-identical results — while DefaultConfig opts into 3 restarts and
+// subsampling for the pipeline.
+func (c Config) Normalize() Config {
+	if c.Restarts <= 0 {
+		c.Restarts = 1
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 40
+	}
+	return c
 }
 
 // Result is a clustering of a point set.
@@ -119,13 +150,13 @@ func (m *matrix) gather(idx []int) *matrix {
 // scratch holds every buffer one Lloyd run needs; it is reused across
 // iterations and restarts so the inner loop performs no allocation.
 type scratch struct {
-	cents []float64 // k*d flat centroids
-	sums  []float64 // k*d accumulation buffer for the update step
-	cnorm []float64 // k: ‖c‖² per centroid
-	csqrt []float64 // k: ‖c‖ per centroid (pruning bound)
-	sizes []int     // k
-	assign []int    // n: current assignment
-	prev   []int    // n: previous iteration's assignment
+	cents  []float64 // k*d flat centroids
+	sums   []float64 // k*d accumulation buffer for the update step
+	cnorm  []float64 // k: ‖c‖² per centroid
+	csqrt  []float64 // k: ‖c‖ per centroid (pruning bound)
+	sizes  []int     // k
+	assign []int     // n: current assignment
+	prev   []int     // n: previous iteration's assignment
 	minD   []float64 // n: distance to the assigned centroid
 	d2     []float64 // n: k-means++ D² weights
 }
@@ -243,13 +274,9 @@ func Run(points [][]float64, k int, cfg Config) (*Result, error) {
 	if k > len(points) {
 		k = len(points)
 	}
-	if cfg.Restarts <= 0 {
-		cfg.Restarts = 1
-	}
-	if cfg.MaxIter <= 0 {
-		cfg.MaxIter = 40
-	}
-	workers := effectiveWorkers(cfg.Workers)
+	cfg = cfg.Normalize()
+	workers := sched.Workers(cfg.Workers)
+	runCounter.Add(1)
 
 	m := flatten(points)
 	train := m
@@ -266,6 +293,7 @@ func Run(points [][]float64, k int, cfg Config) (*Result, error) {
 	sc := newScratch(train.n, k, train.d)
 	var best *Result
 	for restart := 0; restart < cfg.Restarts; restart++ {
+		restartCounter.Add(1)
 		wcss := lloyd(train, k, cfg.MaxIter, workers, &r, sc)
 		if best == nil || wcss < best.WCSS {
 			best = materialize(train, sc, k, wcss)
@@ -277,15 +305,6 @@ func Run(points [][]float64, k int, cfg Config) (*Result, error) {
 		best = assignMatrix(m, best.Centroids, workers)
 	}
 	return best, nil
-}
-
-// effectiveWorkers resolves the Workers option like the rest of the
-// repository: <= 0 means GOMAXPROCS.
-func effectiveWorkers(n int) int {
-	if n > 0 {
-		return n
-	}
-	return runtime.GOMAXPROCS(0)
 }
 
 // sampleIndices picks n distinct indices from [0, total) deterministically,
@@ -339,6 +358,7 @@ func lloyd(m *matrix, k, maxIter, workers int, r *rng.RNG, sc *scratch) float64 
 		if (!changed && iter > 0) || iter >= maxIter {
 			// The assignment (and WCSS) already reflect the current
 			// centroids, so the loop exits with a coherent result in sc.
+			iterCounter.Add(int64(iter + 1))
 			return wcss
 		}
 		updateCentroids(m, sc, k)
@@ -576,10 +596,11 @@ func bestKWith(points [][]float64, maxK int, threshold float64, cfg Config,
 		threshold = 0.9
 	}
 	candidates := candidateKs(maxK)
-	workers := effectiveWorkers(cfg.Workers)
+	workers := sched.Workers(cfg.Workers)
 	if workers > len(candidates) {
 		workers = len(candidates)
 	}
+	timed := obs.Enabled()
 
 	type cand struct {
 		res *Result
@@ -597,7 +618,14 @@ func bestKWith(points [][]float64, maxK int, threshold float64, cfg Config,
 			// oversubscription. Results do not depend on this choice.
 			sub.Workers = 1
 		}
+		var began time.Time
+		if timed {
+			began = time.Now()
+		}
 		res, err := run(points, k, sub)
+		if timed {
+			candidateKMS.Observe(float64(time.Since(began).Microseconds()) / 1e3)
+		}
 		if err != nil {
 			out[i].err = err
 			return

@@ -46,16 +46,13 @@ func RunWeighted(points [][]float64, weights []float64, k int, cfg Config) (*Res
 	if k > len(points) {
 		k = len(points)
 	}
-	if cfg.Restarts <= 0 {
-		cfg.Restarts = 1
-	}
-	if cfg.MaxIter <= 0 {
-		cfg.MaxIter = 40
-	}
+	cfg = cfg.Normalize()
+	runCounter.Add(1)
 
 	r := rng.New(cfg.Seed ^ 0x77656967)
 	var best *Result
 	for restart := 0; restart < cfg.Restarts; restart++ {
+		restartCounter.Add(1)
 		res := lloydWeighted(points, weights, k, cfg.MaxIter, &r)
 		if best == nil || res.WCSS < best.WCSS {
 			best = res

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"testing"
+)
+
+// BenchmarkObsOverhead is the overhead guard for the instrumentation layer:
+// `make check` runs it once so a regression on the disabled path (the one
+// every hot loop pays) is visible in CI diffs.
+//
+//	baseline  — the instrumented region with no obs calls at all
+//	disabled  — spans + progress with no tracer installed (atomic nil-check)
+//	enabled   — spans + progress against a JSONL sink writing to io.Discard
+//
+// disabled must stay within noise of baseline; that is the "near-free"
+// contract core/experiments rely on.
+func BenchmarkObsOverhead(b *testing.B) {
+	work := func(n int) int {
+		s := 0
+		for i := 0; i < n; i++ {
+			s += i * i
+		}
+		return s
+	}
+	const workSize = 64
+	var sink int
+
+	b.Run("baseline", func(b *testing.B) {
+		Disable()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink += work(workSize)
+		}
+	})
+	b.Run("disabled", func(b *testing.B) {
+		Disable()
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sctx, sp := Start(ctx, "stage")
+			_ = sctx
+			sink += work(workSize)
+			sp.End()
+		}
+	})
+	b.Run("enabled-jsonl", func(b *testing.B) {
+		Enable(NewJSONLSink(io.Discard))
+		defer Disable()
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sctx, sp := Start(ctx, "stage")
+			_ = sctx
+			sink += work(workSize)
+			sp.End()
+		}
+	})
+	_ = sink
+}
+
+// BenchmarkCounterAdd measures the always-on metric path used inside
+// pipeline loops (one uncontended atomic add).
+func BenchmarkCounterAdd(b *testing.B) {
+	c := GetCounter("bench.counter")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Flags is the standard observability flag set every command exposes:
+//
+//	-trace file.jsonl   write a JSONL span/progress/metrics trace
+//	-progress           narrate live progress on stderr
+//	-metrics            dump the metrics snapshot on exit
+//
+// Bind them with BindFlags, then Activate after parsing; the returned
+// shutdown function flushes and closes everything.
+type Flags struct {
+	Trace    string
+	Progress bool
+	Metrics  bool
+}
+
+// BindFlags registers the three observability flags on fs.
+func BindFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Trace, "trace", "", "write a JSONL trace (spans, progress, metrics) to this file")
+	fs.BoolVar(&f.Progress, "progress", false, "narrate live pipeline progress on stderr")
+	fs.BoolVar(&f.Metrics, "metrics", false, "dump the metrics snapshot to stderr on exit")
+	return f
+}
+
+// Activate installs the sinks the parsed flags ask for and returns a
+// shutdown function to defer. The -metrics snapshot goes to metricsOut
+// (os.Stderr when nil). With no flags set, both activation and shutdown are
+// no-ops and tracing stays disabled (the near-free path).
+func (f *Flags) Activate(metricsOut io.Writer) (func() error, error) {
+	if metricsOut == nil {
+		metricsOut = os.Stderr
+	}
+	var sinks []Sink
+	if f.Trace != "" {
+		file, err := os.Create(f.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("obs: create trace file: %w", err)
+		}
+		sinks = append(sinks, NewJSONLSink(file))
+	}
+	if f.Progress {
+		sinks = append(sinks, NewNarrator(os.Stderr))
+	}
+	Enable(sinks...)
+	metrics := f.Metrics
+	return func() error {
+		err := Disable()
+		if metrics {
+			if werr := WriteMetrics(metricsOut); err == nil {
+				err = werr
+			}
+		}
+		return err
+	}, nil
+}

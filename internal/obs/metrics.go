@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// The metrics registry is global and always live: handles are atomics, so a
+// counter add in a pipeline loop costs one uncontended atomic op whether or
+// not any sink is installed. Instrumentation points that would need a clock
+// (histogram timings) guard themselves with Enabled().
+//
+// Handles are interned by name: GetCounter("pinball.replayed") returns the
+// same *Counter everywhere, so packages can hold them in package-level vars
+// and skip the map lookup on the hot path.
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-value-wins measurement.
+type Gauge struct{ v atomic.Int64 }
+
+// Set records the gauge's current value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the last set value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates a distribution as count/sum/min/max. Observations
+// are coarse pipeline events (a candidate-k run, a replay batch), so a
+// mutex is fine here.
+type Histogram struct {
+	mu       sync.Mutex
+	count    int64
+	sum      float64
+	min, max float64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// snapshot returns the histogram's aggregates.
+func (h *Histogram) snapshot() (count int64, sum, min, max float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count, h.sum, h.min, h.max
+}
+
+// registry interns metric handles by name.
+var registry sync.Map // name -> *Counter | *Gauge | *Histogram
+
+// GetCounter returns (registering on first use) the named counter.
+func GetCounter(name string) *Counter {
+	if v, ok := registry.Load(name); ok {
+		return v.(*Counter)
+	}
+	v, _ := registry.LoadOrStore(name, &Counter{})
+	return v.(*Counter)
+}
+
+// GetGauge returns (registering on first use) the named gauge.
+func GetGauge(name string) *Gauge {
+	if v, ok := registry.Load(name); ok {
+		return v.(*Gauge)
+	}
+	v, _ := registry.LoadOrStore(name, &Gauge{})
+	return v.(*Gauge)
+}
+
+// GetHistogram returns (registering on first use) the named histogram.
+func GetHistogram(name string) *Histogram {
+	if v, ok := registry.Load(name); ok {
+		return v.(*Histogram)
+	}
+	v, _ := registry.LoadOrStore(name, &Histogram{})
+	return v.(*Histogram)
+}
+
+// ResetMetrics zeroes every registered metric (handles stay valid). For
+// tests and benchmarks that need a clean slate.
+func ResetMetrics() {
+	registry.Range(func(_, v interface{}) bool {
+		switch m := v.(type) {
+		case *Counter:
+			m.v.Store(0)
+		case *Gauge:
+			m.v.Store(0)
+		case *Histogram:
+			m.mu.Lock()
+			m.count, m.sum, m.min, m.max = 0, 0, 0, 0
+			m.mu.Unlock()
+		}
+		return true
+	})
+}
+
+// MetricValue is one metric's state in a Snapshot. Kind is "counter",
+// "gauge" or "histogram"; Count/Sum/Min/Max/Mean are histogram-only.
+type MetricValue struct {
+	Name  string  `json:"name"`
+	Kind  string  `json:"kind"`
+	Value int64   `json:"value,omitempty"`
+	Count int64   `json:"count,omitempty"`
+	Sum   float64 `json:"sum,omitempty"`
+	Min   float64 `json:"min,omitempty"`
+	Max   float64 `json:"max,omitempty"`
+	Mean  float64 `json:"mean,omitempty"`
+}
+
+// Snapshot returns every registered metric, sorted by name — the
+// expvar-style point-in-time view of the pipeline.
+func Snapshot() []MetricValue {
+	var out []MetricValue
+	registry.Range(func(k, v interface{}) bool {
+		mv := MetricValue{Name: k.(string)}
+		switch m := v.(type) {
+		case *Counter:
+			mv.Kind = "counter"
+			mv.Value = m.Value()
+		case *Gauge:
+			mv.Kind = "gauge"
+			mv.Value = m.Value()
+		case *Histogram:
+			mv.Kind = "histogram"
+			mv.Count, mv.Sum, mv.Min, mv.Max = m.snapshot()
+			if mv.Count > 0 {
+				mv.Mean = mv.Sum / float64(mv.Count)
+			}
+			if math.IsNaN(mv.Mean) || math.IsInf(mv.Mean, 0) {
+				mv.Mean = 0
+			}
+		}
+		out = append(out, mv)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteMetrics emits the snapshot as one indented JSON object keyed by
+// metric name (expvar's wire shape), for the -metrics flag.
+func WriteMetrics(w io.Writer) error {
+	snap := Snapshot()
+	obj := make(map[string]MetricValue, len(snap))
+	for _, mv := range snap {
+		obj[mv.Name] = mv
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(obj)
+}

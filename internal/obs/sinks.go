@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ------------------------------------------------------------ JSONL sink --
+
+// JSONLSink writes one JSON object per line: finished spans as they end,
+// progress events as they happen, and a final metrics snapshot on Close.
+// Span records carry id/parent links, so the file reconstructs the full
+// span tree of a run (profile → cluster → replay, per benchmark).
+type JSONLSink struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	c     io.Closer
+	epoch time.Time
+	done  bool
+}
+
+// NewJSONLSink wraps w. If w is an io.Closer (a file), Close closes it.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	s := &JSONLSink{w: bufio.NewWriter(w), epoch: time.Now()}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// jsonAttrs flattens span attributes to a JSON-friendly map.
+func jsonAttrs(attrs []Attr) map[string]interface{} {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]interface{}, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+func (s *JSONLSink) emit(v interface{}) {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return // an unmarshalable attribute must not kill the run
+	}
+	s.mu.Lock()
+	if !s.done {
+		s.w.Write(blob)
+		s.w.WriteByte('\n')
+	}
+	s.mu.Unlock()
+}
+
+// SpanEnd writes the span as {"type":"span",...} with microsecond offsets
+// from the sink's epoch.
+func (s *JSONLSink) SpanEnd(sd *SpanData) {
+	s.emit(struct {
+		Type    string                 `json:"type"`
+		ID      uint64                 `json:"id"`
+		Parent  uint64                 `json:"parent,omitempty"`
+		Name    string                 `json:"name"`
+		StartUS int64                  `json:"start_us"`
+		DurUS   int64                  `json:"dur_us"`
+		Attrs   map[string]interface{} `json:"attrs,omitempty"`
+	}{
+		Type:    "span",
+		ID:      sd.ID,
+		Parent:  sd.Parent,
+		Name:    sd.Name,
+		StartUS: sd.Start.Sub(s.epoch).Microseconds(),
+		DurUS:   sd.Duration().Microseconds(),
+		Attrs:   jsonAttrs(sd.Attrs),
+	})
+}
+
+// Progress writes the event as {"type":"progress",...}.
+func (s *JSONLSink) Progress(ev ProgressEvent) {
+	s.emit(struct {
+		Type  string `json:"type"`
+		TUS   int64  `json:"t_us"`
+		Stage string `json:"stage"`
+		Done  int    `json:"done,omitempty"`
+		Total int    `json:"total,omitempty"`
+		Msg   string `json:"msg,omitempty"`
+	}{
+		Type:  "progress",
+		TUS:   ev.Time.Sub(s.epoch).Microseconds(),
+		Stage: ev.Stage,
+		Done:  ev.Done,
+		Total: ev.Total,
+		Msg:   ev.Msg,
+	})
+}
+
+// Close appends a final {"type":"metrics",...} snapshot, flushes, and
+// closes the underlying file if there is one.
+func (s *JSONLSink) Close() error {
+	s.emit(struct {
+		Type    string        `json:"type"`
+		Metrics []MetricValue `json:"metrics"`
+	}{Type: "metrics", Metrics: Snapshot()})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.done = true
+	err := s.w.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// --------------------------------------------------------- narrator sink --
+
+// Narrator renders the progress stream for a human watching the run: one
+// line per event, stamped with elapsed time. Spans are ignored — the
+// narrator is the "what is happening right now" view; the JSONL sink is the
+// "where did the time go" view.
+type Narrator struct {
+	mu    sync.Mutex
+	w     io.Writer
+	epoch time.Time
+}
+
+// NewNarrator writes progress lines to w (conventionally os.Stderr, so the
+// narration never pollutes result tables on stdout).
+func NewNarrator(w io.Writer) *Narrator {
+	return &Narrator{w: w, epoch: time.Now()}
+}
+
+// SpanEnd is a no-op: the narrator follows progress events only.
+func (n *Narrator) SpanEnd(*SpanData) {}
+
+// Progress prints "[ 12.3s] stage (done/total) msg".
+func (n *Narrator) Progress(ev ProgressEvent) {
+	elapsed := ev.Time.Sub(n.epoch).Seconds()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ev.Total > 0 {
+		fmt.Fprintf(n.w, "[%6.1fs] %s (%d/%d) %s\n", elapsed, ev.Stage, ev.Done, ev.Total, ev.Msg)
+		return
+	}
+	fmt.Fprintf(n.w, "[%6.1fs] %s %s\n", elapsed, ev.Stage, ev.Msg)
+}
+
+// Close is a no-op (the narrator does not own its writer).
+func (n *Narrator) Close() error { return nil }

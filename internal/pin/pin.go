@@ -17,8 +17,13 @@ import (
 	"fmt"
 
 	"specsampling/internal/isa"
+	"specsampling/internal/obs"
 	"specsampling/internal/program"
 )
+
+// instrCounter totals instructions executed under instrumentation across
+// every engine; one atomic add per Run call, never per instruction.
+var instrCounter = obs.GetCounter("sim.instrs")
 
 // Tool is the base interface all Pintools implement. A tool additionally
 // implements one or more of BlockTool, MemTool and BranchTool to receive
@@ -169,12 +174,16 @@ func (e *Engine) hooks() program.Hooks {
 // Run executes at least limit instructions (stopping on a block boundary)
 // and returns the count executed.
 func (e *Engine) Run(limit uint64) uint64 {
-	return e.exec.Run(limit, e.hooks())
+	n := e.exec.Run(limit, e.hooks())
+	instrCounter.Add(int64(n))
+	return n
 }
 
 // RunToEnd executes the rest of the program.
 func (e *Engine) RunToEnd() uint64 {
-	return e.exec.RunToEnd(e.hooks())
+	n := e.exec.RunToEnd(e.hooks())
+	instrCounter.Add(int64(n))
+	return n
 }
 
 // Done reports whether the program has completed.

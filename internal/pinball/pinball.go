@@ -21,8 +21,13 @@ import (
 	"math"
 	"os"
 
+	"specsampling/internal/obs"
 	"specsampling/internal/program"
 )
+
+// loggedCounter counts pinballs serialised by Write (the logger side of the
+// PinPlay analogue); the replayer side is counted in ReplayAll.
+var loggedCounter = obs.GetCounter("pinball.logged")
 
 // Kind distinguishes whole-execution checkpoints from regional ones.
 type Kind uint8
@@ -184,6 +189,7 @@ func (pb *Pinball) Write(w io.Writer) error {
 	if _, err := w.Write(crc[:]); err != nil {
 		return fmt.Errorf("pinball: write checksum: %w", err)
 	}
+	loggedCounter.Add(1)
 	return nil
 }
 

@@ -2,6 +2,7 @@ package pinball
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -278,7 +279,7 @@ func TestReplayAllParallelMatchesSequential(t *testing.T) {
 	}
 
 	mixes := make([]*pintool.LdStMix, len(pbs))
-	results := ReplayAll(p, pbs, 4, func(i int) []pin.Tool {
+	results := ReplayAll(context.Background(), p, pbs, 4, func(i int) []pin.Tool {
 		mixes[i] = pintool.NewLdStMix()
 		return []pin.Tool{mixes[i]}
 	})

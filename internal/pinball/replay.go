@@ -1,13 +1,16 @@
 package pinball
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
+	"specsampling/internal/obs"
 	"specsampling/internal/pin"
 	"specsampling/internal/program"
+	"specsampling/internal/sched"
 )
+
+var replayCounter = obs.GetCounter("pinball.replayed")
 
 // Warmable is implemented by tools whose microarchitectural state can be
 // warmed without counting statistics (cache simulators, timing models). If
@@ -88,24 +91,31 @@ type ReplayResult struct {
 // private tool set (tools are stateful and must not be shared); it receives
 // the pinball's index in pbs. Results preserve input order. workers <= 0
 // uses GOMAXPROCS.
-func ReplayAll(p *program.Program, pbs []*Pinball, workers int, makeTools func(i int) []pin.Tool) []ReplayResult {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+//
+// If ctx is cancelled mid-run, pinballs not yet dispatched are returned
+// with Err set to ctx.Err(); already-running replays complete normally.
+func ReplayAll(ctx context.Context, p *program.Program, pbs []*Pinball, workers int, makeTools func(i int) []pin.Tool) []ReplayResult {
+	ctx, span := obs.Start(ctx, "replay",
+		obs.String("bench", p.Name), obs.Int("pinballs", len(pbs)))
+	defer span.End()
+
 	results := make([]ReplayResult, len(pbs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, pb := range pbs {
-		wg.Add(1)
-		go func(i int, pb *Pinball) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			tools := makeTools(i)
-			n, err := Replay(p, pb, tools...)
-			results[i] = ReplayResult{Pinball: pb, Executed: n, Err: err}
-		}(i, pb)
+	ran := make([]bool, len(pbs))
+	err := sched.ForEach(ctx, workers, len(pbs), func(i int) error {
+		tools := makeTools(i)
+		n, err := Replay(p, pbs[i], tools...)
+		results[i] = ReplayResult{Pinball: pbs[i], Executed: n, Err: err}
+		ran[i] = true
+		replayCounter.Add(1)
+		return nil
+	})
+	if err != nil {
+		// Cancelled: mark the slots that never ran so callers see why.
+		for i := range results {
+			if !ran[i] {
+				results[i] = ReplayResult{Pinball: pbs[i], Err: err}
+			}
+		}
 	}
-	wg.Wait()
 	return results
 }

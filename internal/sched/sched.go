@@ -8,17 +8,28 @@
 // output order never depends on goroutine scheduling) and Group guarantees
 // an expensive function runs at most once per key no matter how many
 // figures request it concurrently.
+//
+// Both accept a context.Context. Cancellation drains the pool — no new
+// index is dispatched once ctx is done, in-flight calls run to completion —
+// and the outcome is deterministic: a cancelled ForEach always returns
+// ctx.Err(), never a schedule-dependent partial failure, and an uncancelled
+// one reports the failure with the lowest index exactly as before.
 package sched
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"specsampling/internal/obs"
 )
 
 // Workers resolves a worker-count option: n when positive, otherwise
-// GOMAXPROCS. This is the convention every Workers field in the repository
-// follows (<= 0 means "use all available parallelism").
+// GOMAXPROCS. This is the one place the repository's "<= 0 means all
+// available parallelism" convention is implemented; every Workers field
+// (core.Config, experiments.Options, kmeans.Config) resolves through it.
 func Workers(n int) int {
 	if n > 0 {
 		return n
@@ -26,17 +37,48 @@ func Workers(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// Scheduler metrics: task counts and queue-wait vs run time, observed only
+// when a tracer is installed (the histograms need a clock).
+var (
+	taskCounter = obs.GetCounter("sched.tasks")
+	taskWaitMS  = obs.GetHistogram("sched.task_wait_ms")
+	taskRunMS   = obs.GetHistogram("sched.task_run_ms")
+	groupHits   = obs.GetCounter("sched.group.hits")
+	groupMisses = obs.GetCounter("sched.group.misses")
+)
+
 // ForEach runs fn(i) for every i in [0, n) across at most workers
 // goroutines (workers <= 0 uses GOMAXPROCS). fn must write its result into
 // an index-addressed slot so that the outcome is independent of scheduling.
 //
 // All indices run even if some fail; the returned error is the failure with
 // the lowest index, which makes the reported error deterministic regardless
-// of goroutine interleaving.
-func ForEach(workers, n int, fn func(i int) error) error {
+// of goroutine interleaving. If ctx is cancelled, remaining indices are not
+// started and ForEach returns ctx.Err().
+func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	traced := obs.Enabled()
+	var begin time.Time
+	if traced {
+		begin = time.Now()
+		taskCounter.Add(int64(n))
+	}
+	run := func(i int) error {
+		if !traced {
+			return fn(i)
+		}
+		start := time.Now()
+		taskWaitMS.Observe(float64(start.Sub(begin).Microseconds()) / 1e3)
+		err := fn(i)
+		taskRunMS.Observe(float64(time.Since(start).Microseconds()) / 1e3)
+		return err
+	}
+
 	workers = Workers(workers)
 	if workers > n {
 		workers = n
@@ -44,9 +86,15 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	if workers <= 1 {
 		var first error
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil && first == nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := run(i); err != nil && first == nil {
 				first = err
 			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 		return first
 	}
@@ -57,16 +105,22 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				errs[i] = run(i)
 			}
 		}()
 	}
 	wg.Wait()
+	// A cancelled run reports ctx.Err() unconditionally: which indices got
+	// to run (and thus which fn errors exist) depends on scheduling, so the
+	// per-index errors are not a deterministic signal once cancelled.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -97,19 +151,43 @@ type Group[K comparable, V any] struct {
 // Do returns the value for key, computing it with fn if no successful or
 // in-flight computation exists. fn is never invoked twice concurrently for
 // the same key.
-func (g *Group[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+//
+// ctx governs only this caller's wait: a waiter whose context is cancelled
+// stops waiting and returns ctx.Err(), while the in-flight computation (and
+// other waiters) proceed untouched. The computing caller itself checks ctx
+// before starting; fn should capture ctx if the computation is to be
+// cancellable mid-flight.
+func (g *Group[K, V]) Do(ctx context.Context, key K, fn func() (V, error)) (V, error) {
+	var zero V
 	g.mu.Lock()
 	if g.calls == nil {
 		g.calls = make(map[K]*call[V])
 	}
 	if c, ok := g.calls[key]; ok {
 		g.mu.Unlock()
-		<-c.done
-		return c.val, c.err
+		groupHits.Add(1)
+		// Completed results win over simultaneous cancellation, so a
+		// cancelled-and-done race prefers the deterministic value.
+		select {
+		case <-c.done:
+			return c.val, c.err
+		default:
+		}
+		select {
+		case <-c.done:
+			return c.val, c.err
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		g.mu.Unlock()
+		return zero, err
 	}
 	c := &call[V]{done: make(chan struct{})}
 	g.calls[key] = c
 	g.mu.Unlock()
+	groupMisses.Add(1)
 
 	c.val, c.err = fn()
 	if c.err != nil {

@@ -1,18 +1,20 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForEachCoversAllIndices(t *testing.T) {
 	for _, workers := range []int{0, 1, 2, 8, 100} {
 		n := 57
 		hits := make([]int32, n)
-		if err := ForEach(workers, n, func(i int) error {
+		if err := ForEach(context.Background(), workers, n, func(i int) error {
 			atomic.AddInt32(&hits[i], 1)
 			return nil
 		}); err != nil {
@@ -27,7 +29,8 @@ func TestForEachCoversAllIndices(t *testing.T) {
 }
 
 func TestForEachEmptyAndError(t *testing.T) {
-	if err := ForEach(4, 0, func(int) error { return errors.New("never") }); err != nil {
+	ctx := context.Background()
+	if err := ForEach(ctx, 4, 0, func(int) error { return errors.New("never") }); err != nil {
 		t.Fatal(err)
 	}
 	wantErr := func(i int) error {
@@ -38,9 +41,52 @@ func TestForEachEmptyAndError(t *testing.T) {
 	}
 	// The lowest failing index wins deterministically, for any worker count.
 	for _, workers := range []int{1, 2, 8} {
-		err := ForEach(workers, 10, wantErr)
+		err := ForEach(ctx, workers, 10, wantErr)
 		if err == nil || err.Error() != "fail-3" {
 			t.Errorf("workers=%d: err = %v, want fail-3", workers, err)
+		}
+	}
+}
+
+func TestForEachCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := int32(0)
+	for _, workers := range []int{1, 4} {
+		err := ForEach(ctx, workers, 10, func(i int) error {
+			atomic.AddInt32(&ran, 1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+	if ran != 0 {
+		t.Errorf("%d indices ran under a pre-cancelled context", ran)
+	}
+}
+
+// TestForEachCancelDrainsPool cancels mid-run and checks that (a) the
+// returned error is deterministically ctx.Err(), even if an fn error
+// occurred first, and (b) not every index is dispatched.
+func TestForEachCancelDrainsPool(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		ctx, cancel := context.WithCancel(context.Background())
+		const n = 10_000
+		var ran int32
+		err := ForEach(ctx, workers, n, func(i int) error {
+			if atomic.AddInt32(&ran, 1) == 5 {
+				cancel()
+				return fmt.Errorf("fn-error-at-%d", i)
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if got := atomic.LoadInt32(&ran); got >= n {
+			t.Errorf("workers=%d: pool did not drain, all %d indices ran", workers, got)
 		}
 	}
 }
@@ -54,7 +100,7 @@ func TestGroupDeduplicatesConcurrentCalls(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, err := g.Do("key", func() (int, error) {
+			v, err := g.Do(context.Background(), "key", func() (int, error) {
 				atomic.AddInt32(&computed, 1)
 				return 42, nil
 			})
@@ -80,9 +126,10 @@ func TestGroupDeduplicatesConcurrentCalls(t *testing.T) {
 
 func TestGroupCachesPerKey(t *testing.T) {
 	var g Group[int, string]
+	ctx := context.Background()
 	calls := 0
 	for i := 0; i < 3; i++ {
-		v, _ := g.Do(7, func() (string, error) { calls++; return "seven", nil })
+		v, _ := g.Do(ctx, 7, func() (string, error) { calls++; return "seven", nil })
 		if v != "seven" {
 			t.Fatalf("got %q", v)
 		}
@@ -90,7 +137,7 @@ func TestGroupCachesPerKey(t *testing.T) {
 	if calls != 1 {
 		t.Errorf("repeated Do recomputed: %d calls", calls)
 	}
-	v, _ := g.Do(8, func() (string, error) { return "eight", nil })
+	v, _ := g.Do(ctx, 8, func() (string, error) { return "eight", nil })
 	if v != "eight" {
 		t.Errorf("distinct key returned %q", v)
 	}
@@ -98,15 +145,148 @@ func TestGroupCachesPerKey(t *testing.T) {
 
 func TestGroupRetriesAfterError(t *testing.T) {
 	var g Group[string, int]
+	ctx := context.Background()
 	boom := errors.New("boom")
-	if _, err := g.Do("k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+	if _, err := g.Do(ctx, "k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
 	if g.Len() != 0 {
 		t.Errorf("failed call cached: Len() = %d", g.Len())
 	}
-	v, err := g.Do("k", func() (int, error) { return 9, nil })
+	v, err := g.Do(ctx, "k", func() (int, error) { return 9, nil })
 	if err != nil || v != 9 {
 		t.Errorf("retry got (%d, %v)", v, err)
+	}
+}
+
+// TestGroupErrorNeverCachedUnderConcurrency hammers one key with failing
+// then succeeding computations: concurrent waiters of a failed flight all
+// observe the error, the error is never cached, and the next caller
+// recomputes successfully.
+func TestGroupErrorNeverCachedUnderConcurrency(t *testing.T) {
+	var g Group[string, int]
+	ctx := context.Background()
+	boom := errors.New("boom")
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := g.Do(ctx, "k", func() (int, error) {
+				<-release
+				return 0, boom
+			})
+			if !errors.Is(err, boom) {
+				t.Errorf("waiter got %v, want boom", err)
+			}
+		}()
+	}
+	// Let the flight start, then fail it under all waiters at once.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if g.Len() != 0 {
+		t.Fatalf("error cached: Len() = %d", g.Len())
+	}
+	v, err := g.Do(ctx, "k", func() (int, error) { return 9, nil })
+	if err != nil || v != 9 {
+		t.Fatalf("retry after concurrent failure got (%d, %v)", v, err)
+	}
+}
+
+func TestGroupWaiterCancellation(t *testing.T) {
+	var g Group[string, int]
+	bg := context.Background()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var flight sync.WaitGroup
+	flight.Add(1)
+	go func() {
+		defer flight.Done()
+		g.Do(bg, "k", func() (int, error) {
+			close(started)
+			<-release
+			return 42, nil
+		})
+	}()
+	<-started
+
+	// A waiter with a cancelled context abandons the wait with ctx.Err();
+	// the flight itself is untouched.
+	ctx, cancel := context.WithCancel(bg)
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Do(ctx, "k", func() (int, error) { return 0, nil })
+		done <- err
+	}()
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter got %v", err)
+	}
+
+	close(release)
+	flight.Wait()
+	// The flight completed and cached its value despite the cancelled waiter.
+	v, err := g.Do(bg, "k", func() (int, error) { return 0, errors.New("must not recompute") })
+	if err != nil || v != 42 {
+		t.Fatalf("after cancel, got (%d, %v), want (42, nil)", v, err)
+	}
+}
+
+// TestGroupCancelVsCompleteRace races waiter cancellation against flight
+// completion (run under -race). Every waiter must observe exactly one of
+// the two legal outcomes: the computed value or its own ctx.Err().
+func TestGroupCancelVsCompleteRace(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		var g Group[int, int]
+		bg := context.Background()
+		release := make(chan struct{})
+		started := make(chan struct{})
+		go g.Do(bg, 1, func() (int, error) {
+			close(started)
+			<-release
+			return 7, nil
+		})
+		<-started
+
+		ctx, cancel := context.WithCancel(bg)
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				v, err := g.Do(ctx, 1, func() (int, error) { return 0, errors.New("never computes") })
+				if err == nil && v != 7 {
+					t.Errorf("waiter got value %d", v)
+				}
+				if err != nil && !errors.Is(err, context.Canceled) {
+					t.Errorf("waiter got error %v", err)
+				}
+			}()
+		}
+		// Fire completion and cancellation as close together as possible.
+		go close(release)
+		go cancel()
+		wg.Wait()
+		cancel()
+	}
+}
+
+// TestGroupPreCancelledComputerDoesNotRun: a would-be computing caller with
+// an already-cancelled context must not start fn or poison the key.
+func TestGroupPreCancelledComputerDoesNotRun(t *testing.T) {
+	var g Group[string, int]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := g.Do(ctx, "k", func() (int, error) {
+		t.Error("fn ran under a cancelled context")
+		return 0, nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	v, err := g.Do(context.Background(), "k", func() (int, error) { return 5, nil })
+	if err != nil || v != 5 {
+		t.Fatalf("key poisoned: got (%d, %v)", v, err)
 	}
 }

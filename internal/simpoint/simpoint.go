@@ -23,10 +23,14 @@ import (
 
 	"specsampling/internal/bbv"
 	"specsampling/internal/kmeans"
+	"specsampling/internal/obs"
 	"specsampling/internal/pin"
 	"specsampling/internal/pintool"
 	"specsampling/internal/program"
 )
+
+// sliceCounter totals execution slices produced by Profile.
+var sliceCounter = obs.GetCounter("profile.slices")
 
 // Config parameterises the pipeline. The paper's final choice for SPEC
 // CPU2017 is MaxK = 35 and 30 M-instruction slices (Section IV-A); slice
@@ -49,14 +53,26 @@ type Config struct {
 	KMeans kmeans.Config
 }
 
+// Pipeline-wide defaults. These constants are the single source for the
+// paper's parameter choices; core.Config and simpoint.Config both normalise
+// their zero values against them.
+const (
+	// DefaultMaxK is the paper's cluster ceiling (Section IV-A).
+	DefaultMaxK = 35
+	// DefaultBICThreshold is SimPoint's BIC acceptance fraction.
+	DefaultBICThreshold = 0.9
+	// DefaultSeed is the deterministic seed used across the reproduction.
+	DefaultSeed uint64 = 2017
+)
+
 // DefaultConfig returns the paper's configuration at a given slice length.
 func DefaultConfig(sliceLen uint64) Config {
 	return Config{
 		SliceLen:     sliceLen,
-		MaxK:         35,
-		BICThreshold: 0.9,
+		MaxK:         DefaultMaxK,
+		BICThreshold: DefaultBICThreshold,
 		ProjectDims:  bbv.DefaultProjectedDims,
-		Seed:         2017,
+		Seed:         DefaultSeed,
 	}
 }
 
@@ -120,6 +136,7 @@ func Profile(p *program.Program, sliceLen uint64) ([]Slice, uint64, error) {
 	if len(slices) == 0 {
 		return nil, 0, fmt.Errorf("simpoint: program %q produced no slices", p.Name)
 	}
+	sliceCounter.Add(int64(len(slices)))
 	return slices, total, nil
 }
 
