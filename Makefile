@@ -1,14 +1,20 @@
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: check vet build test race bench benchsmoke
+.PHONY: check vet fmtcheck build test race bench benchsmoke cachesmoke
 
-## check: the pre-commit gate — vet, build, the full suite under -race, and
-## a single-iteration pass over every benchmark (including the obs overhead
-## guard), so a broken or newly expensive benchmark fails the gate.
-check: vet build race benchsmoke
+## check: the pre-commit gate — vet, gofmt, build, the full suite under
+## -race, a single-iteration pass over every benchmark (including the obs
+## overhead guard), and a warm-cache smoke run of the persistent store.
+check: vet fmtcheck build race benchsmoke cachesmoke
 
 vet:
 	$(GO) vet ./...
+
+## fmtcheck: fail if any file needs gofmt (and list the offenders).
+fmtcheck:
+	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -29,3 +35,22 @@ bench:
 benchsmoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/...
 	$(GO) test -run='^$$' -bench=BenchmarkFig8 -benchtime=1x .
+
+## cachesmoke: the persistent artifact store end to end — run the same
+## experiment twice into a fresh cache dir; the second run must be served
+## from the store (store.hit > 0 in the metrics dump) and print
+## byte-identical results (the wall-clock "completed in" line excluded).
+cachesmoke:
+	@dir="$$(mktemp -d)"; set -e; \
+	trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/experiments -run tableII -scale small \
+		-bench 505.mcf_r,503.bwaves_r -cache-dir "$$dir/cache" -metrics \
+		>"$$dir/cold.txt" 2>"$$dir/cold.metrics"; \
+	$(GO) run ./cmd/experiments -run tableII -scale small \
+		-bench 505.mcf_r,503.bwaves_r -cache-dir "$$dir/cache" -metrics \
+		>"$$dir/warm.txt" 2>"$$dir/warm.metrics"; \
+	grep -v '^completed in' "$$dir/cold.txt" >"$$dir/cold.cmp"; \
+	grep -v '^completed in' "$$dir/warm.txt" >"$$dir/warm.cmp"; \
+	cmp "$$dir/cold.cmp" "$$dir/warm.cmp"; \
+	grep -A4 '"store.hit"' "$$dir/warm.metrics" | grep -q '"value"'; \
+	echo "cachesmoke: warm run byte-identical and served from the store"

@@ -15,12 +15,21 @@
 // clustering and replay. Every reported number is identical for any worker
 // count — parallelism only changes wall-clock time.
 //
+// Persistence: -cache-dir DIR (default: env SPECSIM_CACHE) keeps the
+// expensive pipeline artifacts — BBV profiles, SimPoint clusterings,
+// whole-run replay profiles — in a crash-safe on-disk store, so repeated and
+// interrupted runs reuse completed stages instead of recomputing them;
+// -no-cache forces the store off. Cached results are byte-identical to
+// recomputation.
+//
 // Observability: -trace FILE writes a JSONL span tree of the whole run
 // (analyze → profile/cluster → replay), -progress narrates live progress to
 // stderr, and -metrics dumps the pipeline counters on exit. All three are
 // off by default and cost nothing when disabled. Ctrl-C cancels the run
-// deterministically — in-flight benchmarks finish their current slice and
-// the process exits with an "interrupted" error.
+// deterministically — in-flight benchmarks finish their current slice, the
+// process reports "interrupted" on stderr and exits with status 130
+// (128+SIGINT), and a later run with the same -cache-dir resumes from the
+// completed stages.
 package main
 
 import (
@@ -36,14 +45,26 @@ import (
 
 	"specsampling/internal/experiments"
 	"specsampling/internal/obs"
+	"specsampling/internal/store"
 	"specsampling/internal/workload"
 )
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// exitCode maps a run error to the process exit status. A resumable
+// pipeline makes "interrupted" a normal, reportable state rather than a
+// generic failure: SIGINT cancellation exits with 130 (128+SIGINT, the
+// shell convention), every other failure with 1.
+func exitCode(err error) int {
+	if errors.Is(err, context.Canceled) {
+		return 130
+	}
+	return 1
 }
 
 func run(args []string) error {
@@ -56,8 +77,13 @@ func run(args []string) error {
 			"clustering and pinball replay all fan out across this budget "+
 			"(results are identical for any value; <= 0 means GOMAXPROCS)")
 	jsonPath := fs.String("json", "", "also write structured results as JSON to this file")
+	cacheFlags := store.BindFlags(fs)
 	obsFlags := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st, err := cacheFlags.Open()
+	if err != nil {
 		return err
 	}
 	shutdown, err := obsFlags.Activate(os.Stderr)
@@ -88,6 +114,7 @@ func run(args []string) error {
 		Benchmarks: names,
 		Workers:    *workers,
 		Out:        os.Stdout,
+		Store:      st,
 	})
 	if err != nil {
 		return err
@@ -95,22 +122,28 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	// interrupted maps a SIGINT cancellation to a clear, resumability-aware
+	// error (main turns it into exit status 130 via exitCode).
+	interrupted := func(err error) error {
+		if !errors.Is(err, context.Canceled) {
+			return err
+		}
+		if st != nil {
+			return fmt.Errorf("interrupted by SIGINT; completed stages are cached in %s — rerun with the same -cache-dir to resume: %w", st.Dir(), err)
+		}
+		return fmt.Errorf("interrupted by SIGINT (rerun with -cache-dir to make interrupted runs resumable): %w", err)
+	}
+
 	fmt.Printf("reproducing %s: %s\n", *id, runner.Describe())
 	start := time.Now()
 	if *jsonPath == "" {
 		if err := runner.Run(ctx, *id); err != nil {
-			if errors.Is(err, context.Canceled) {
-				return fmt.Errorf("interrupted: %w", err)
-			}
-			return err
+			return interrupted(err)
 		}
 	} else {
 		report := experiments.NewReport()
 		if err := runner.RunRecorded(ctx, *id, report); err != nil {
-			if errors.Is(err, context.Canceled) {
-				return fmt.Errorf("interrupted: %w", err)
-			}
-			return err
+			return interrupted(err)
 		}
 		f, err := os.Create(*jsonPath)
 		if err != nil {

@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunValidation(t *testing.T) {
 	if err := run([]string{"-scale", "nope"}); err == nil {
@@ -20,5 +27,42 @@ func TestRunSingleExperiment(t *testing.T) {
 	}
 	if err := run([]string{"-run", "fig6", "-scale", "small", "-bench", "520.omnetpp_r,557.xz_r"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestExitCode regresses the SIGINT exit-status bug: cancellation must map
+// to the distinct 130 (128+SIGINT), not a generic status — and certainly
+// not 0.
+func TestExitCode(t *testing.T) {
+	if got := exitCode(context.Canceled); got != 130 {
+		t.Errorf("exitCode(Canceled) = %d, want 130", got)
+	}
+	wrapped := fmt.Errorf("interrupted by SIGINT: %w", context.Canceled)
+	if got := exitCode(wrapped); got != 130 {
+		t.Errorf("exitCode(wrapped Canceled) = %d, want 130", got)
+	}
+	if got := exitCode(errors.New("boom")); got != 1 {
+		t.Errorf("exitCode(other) = %d, want 1", got)
+	}
+}
+
+// TestRunWithCacheDir runs the same experiment twice through one cache
+// directory: the first run populates the store, the second is served from
+// it, and -no-cache still works against a populated directory.
+func TestRunWithCacheDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	args := []string{"-run", "tableII", "-scale", "small", "-bench", "505.mcf_r", "-cache-dir", dir}
+	if err := run(args); err != nil {
+		t.Fatalf("cold cached run: %v", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("cache dir not populated (entries %v, err %v)", ents, err)
+	}
+	if err := run(args); err != nil {
+		t.Fatalf("warm cached run: %v", err)
+	}
+	if err := run(append(args, "-no-cache")); err != nil {
+		t.Fatalf("-no-cache run: %v", err)
 	}
 }

@@ -10,7 +10,11 @@
 //
 // The run and phases subcommands accept the shared observability flags:
 // -trace FILE (JSONL span trace), -progress (live narration on stderr) and
-// -metrics (counter dump on exit).
+// -metrics (counter dump on exit). The phases subcommand additionally
+// accepts -cache-dir DIR / -no-cache (default: env SPECSIM_CACHE): the
+// benchmark's BBV profile and SimPoint clustering are served from the
+// persistent artifact store when present and stored for the next run
+// otherwise.
 package main
 
 import (

@@ -12,6 +12,7 @@ import (
 	"specsampling/internal/core"
 	"specsampling/internal/obs"
 	"specsampling/internal/pinball"
+	"specsampling/internal/store"
 	"specsampling/internal/textplot"
 	"specsampling/internal/timing"
 	"specsampling/internal/workload"
@@ -28,12 +29,17 @@ func phasesCmd(args []string) error {
 	width := fs.Int("width", 100, "timeline width in characters")
 	workers := fs.Int("workers", runtime.NumCPU(),
 		"worker goroutines for clustering and replay (results are identical for any value; <= 0 means GOMAXPROCS)")
+	cacheFlags := store.BindFlags(fs)
 	obsFlags := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *bench == "" {
 		return fmt.Errorf("missing -bench")
+	}
+	st, err := cacheFlags.Open()
+	if err != nil {
+		return err
 	}
 	shutdown, err := obsFlags.Activate(os.Stderr)
 	if err != nil {
@@ -54,7 +60,7 @@ func phasesCmd(args []string) error {
 	}
 	acfg := core.DefaultConfig(scale)
 	acfg.Workers = *workers
-	an, err := core.Analyze(context.Background(), spec, acfg)
+	an, err := core.AnalyzeStored(context.Background(), spec, acfg, st)
 	if err != nil {
 		return err
 	}

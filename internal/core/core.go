@@ -20,6 +20,7 @@ import (
 	"specsampling/internal/pinball"
 	"specsampling/internal/program"
 	"specsampling/internal/simpoint"
+	"specsampling/internal/store"
 	"specsampling/internal/timing"
 	"specsampling/internal/workload"
 )
@@ -93,6 +94,49 @@ func (c Config) simpointConfig() simpoint.Config {
 	return sp
 }
 
+// profileArtifact is the persisted form of the profile stage: the slices
+// (with their per-slice checkpoints) and the whole-run instruction count.
+type profileArtifact struct {
+	Slices      []simpoint.Slice
+	TotalInstrs uint64
+}
+
+// ProfileKey is the store key of the benchmark's profile stage at this
+// configuration. It covers exactly the inputs the profile depends on —
+// benchmark, scale (name and division) and resolved slice length — and
+// deliberately excludes the worker budget and clustering knobs: profiles
+// are identical for any parallelism and are shared by every clustering
+// configuration.
+func (c Config) ProfileKey(bench string) store.Key {
+	c = c.Normalize()
+	return store.Key{Kind: "profile", Bench: bench, Parts: []string{
+		"scale=" + c.Scale.Name,
+		fmt.Sprintf("div=%d", c.Scale.Div),
+		fmt.Sprintf("slice=%d", c.sliceLen()),
+	}}
+}
+
+// ClusterKey is the store key of the benchmark's clustering stage. It
+// extends ProfileKey (a clustering is a function of the profile) with every
+// knob the SimPoint pipeline reads: MaxK, BIC threshold, projection
+// dimensionality, seed, and the k-means engine parameters. Workers is
+// excluded — clustering results are byte-identical for any worker count.
+func (c Config) ClusterKey(bench string) store.Key {
+	sp := c.simpointConfig()
+	k := c.ProfileKey(bench)
+	k.Kind = "cluster"
+	k.Parts = append(k.Parts,
+		fmt.Sprintf("maxk=%d", sp.MaxK),
+		fmt.Sprintf("bic=%g", sp.BICThreshold),
+		fmt.Sprintf("dims=%d", sp.ProjectDims),
+		fmt.Sprintf("seed=%d", sp.Seed),
+		fmt.Sprintf("restarts=%d", sp.KMeans.Restarts),
+		fmt.Sprintf("maxiter=%d", sp.KMeans.MaxIter),
+		fmt.Sprintf("sample=%d", sp.KMeans.SampleSize),
+	)
+	return k
+}
+
 // Analysis is one benchmark's profiled execution plus its SimPoint result.
 type Analysis struct {
 	// Spec is the benchmark.
@@ -113,6 +157,16 @@ type Analysis struct {
 // clusters it. This is the expensive pass; everything downstream reuses it.
 // ctx carries the tracing span tree and cancellation.
 func Analyze(ctx context.Context, spec workload.Spec, cfg Config) (*Analysis, error) {
+	return AnalyzeStored(ctx, spec, cfg, nil)
+}
+
+// AnalyzeStored is Analyze backed by a persistent artifact store: the
+// profile and clustering stages are looked up in st before being computed,
+// and computed results are persisted for the next process. A nil store
+// degrades to plain Analyze. Stage results served from disk are
+// byte-identical to recomputation (gob round-trips float64s exactly), so a
+// resumed run reports the same numbers as a cold one.
+func AnalyzeStored(ctx context.Context, spec workload.Spec, cfg Config, st *store.Store) (*Analysis, error) {
 	cfg = cfg.Normalize()
 	ctx, span := obs.Start(ctx, "analyze",
 		obs.String("bench", spec.Name), obs.String("scale", cfg.Scale.Name))
@@ -124,7 +178,7 @@ func Analyze(ctx context.Context, spec workload.Spec, cfg Config) (*Analysis, er
 	if err != nil {
 		return nil, err
 	}
-	return analyzeProgram(ctx, spec, prog, cfg)
+	return analyzeProgram(ctx, spec, prog, cfg, st)
 }
 
 // AnalyzeProgram profiles and clusters an already-built program (callers
@@ -134,36 +188,69 @@ func AnalyzeProgram(ctx context.Context, spec workload.Spec, prog *program.Progr
 	ctx, span := obs.Start(ctx, "analyze",
 		obs.String("bench", spec.Name), obs.String("scale", cfg.Scale.Name))
 	defer span.End()
-	return analyzeProgram(ctx, spec, prog, cfg)
+	return analyzeProgram(ctx, spec, prog, cfg, nil)
 }
 
 // analyzeProgram is the shared profile+cluster pass under an "analyze" span.
-func analyzeProgram(ctx context.Context, spec workload.Spec, prog *program.Program, cfg Config) (*Analysis, error) {
+// Each stage goes disk store → compute (the in-memory singleflight layer is
+// the caller's, e.g. experiments.Runner); computed stages are persisted even
+// when the run is being cancelled, so an interrupted suite resumes from the
+// last completed stage rather than the last completed benchmark.
+func analyzeProgram(ctx context.Context, spec workload.Spec, prog *program.Program, cfg Config, st *store.Store) (*Analysis, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	spCfg := cfg.simpointConfig()
 
-	pctx, pspan := obs.Start(ctx, "profile", obs.Uint64("slice_len", spCfg.SliceLen))
-	slices, total, err := simpoint.Profile(prog, spCfg.SliceLen)
-	if err != nil {
+	var slices []simpoint.Slice
+	var total uint64
+	pkey := cfg.ProfileKey(spec.Name)
+	var prof profileArtifact
+	if st.Get(ctx, pkey, &prof) {
+		slices, total = prof.Slices, prof.TotalInstrs
+	} else {
+		pctx, pspan := obs.Start(ctx, "profile", obs.Uint64("slice_len", spCfg.SliceLen))
+		var err error
+		slices, total, err = simpoint.Profile(prog, spCfg.SliceLen)
+		if err != nil {
+			pspan.End()
+			return nil, fmt.Errorf("core: profile %s: %w", spec.Name, err)
+		}
+		pspan.Annotate(obs.Int("slices", len(slices)), obs.Uint64("instrs", total))
 		pspan.End()
-		return nil, fmt.Errorf("core: profile %s: %w", spec.Name, err)
+		// Persist before honouring cancellation: a failed cache write must
+		// not fail the pipeline, and a completed stage should survive an
+		// interrupt that arrives while it is being written.
+		_ = st.Put(ctx, pkey, profileArtifact{Slices: slices, TotalInstrs: total})
+		if err := pctx.Err(); err != nil {
+			return nil, err
+		}
 	}
-	pspan.Annotate(obs.Int("slices", len(slices)), obs.Uint64("instrs", total))
-	pspan.End()
-	if err := pctx.Err(); err != nil {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
-	_, cspan := obs.Start(ctx, "cluster", obs.Int("max_k", spCfg.MaxK))
-	res, err := simpoint.Cluster(prog.Name, slices, total, spCfg)
-	if err != nil {
+	var res *simpoint.Result
+	ckey := cfg.ClusterKey(spec.Name)
+	var stored simpoint.Result
+	if st.Get(ctx, ckey, &stored) {
+		// The stored config echoes whatever run wrote the artifact; restate
+		// this call's config (the only field that may differ is the
+		// non-semantic worker budget, which is excluded from the key).
+		stored.Config = spCfg
+		res = &stored
+	} else {
+		_, cspan := obs.Start(ctx, "cluster", obs.Int("max_k", spCfg.MaxK))
+		var err error
+		res, err = simpoint.Cluster(prog.Name, slices, total, spCfg)
+		if err != nil {
+			cspan.End()
+			return nil, fmt.Errorf("core: cluster %s: %w", spec.Name, err)
+		}
+		cspan.Annotate(obs.Int("k", res.NumPoints()))
 		cspan.End()
-		return nil, fmt.Errorf("core: cluster %s: %w", spec.Name, err)
+		_ = st.Put(ctx, ckey, res)
 	}
-	cspan.Annotate(obs.Int("k", res.NumPoints()))
-	cspan.End()
 
 	return &Analysis{
 		Spec:        spec,

@@ -23,6 +23,7 @@ import (
 	"specsampling/internal/core"
 	"specsampling/internal/obs"
 	"specsampling/internal/sched"
+	"specsampling/internal/store"
 	"specsampling/internal/timing"
 	"specsampling/internal/workload"
 )
@@ -45,6 +46,12 @@ type Options struct {
 	Workers int
 	// Out receives the text renditions; nil discards them.
 	Out io.Writer
+	// Store is the persistent artifact cache backing the in-memory
+	// singleflight caches (memory → disk → compute); nil disables
+	// persistence. Artifacts served from disk yield byte-identical results,
+	// so a Store only changes wall-clock time — and makes interrupted runs
+	// resumable.
+	Store *store.Store
 }
 
 // Normalize resolves zero values to their documented defaults. Idempotent;
@@ -67,6 +74,9 @@ type Runner struct {
 
 	// analyzed counts completed per-benchmark analyses for progress events.
 	analyzed atomic.Int64
+
+	// store is the optional persistent layer under the singleflight caches.
+	store *store.Store
 
 	// Singleflight caches: concurrent figures requesting the same
 	// benchmark share one computation instead of duplicating it.
@@ -93,7 +103,7 @@ func New(opts Options) (*Runner, error) {
 	}
 	cfg := core.DefaultConfig(opts.Scale)
 	cfg.Workers = opts.Workers
-	return &Runner{opts: opts, specs: specs, cfg: cfg}, nil
+	return &Runner{opts: opts, specs: specs, cfg: cfg, store: opts.Store}, nil
 }
 
 // Config returns the unified analysis configuration the runner hands to
@@ -139,12 +149,14 @@ func (r *Runner) forEachSpec(ctx context.Context, fn func(i int, spec workload.S
 
 // analysis returns (and caches) the benchmark's SimPoint analysis. The
 // compute is wrapped in a per-key singleflight, so two figures racing for
-// the same benchmark run core.Analyze once and share the result. Completed
-// analyses emit one progress event each, so a live run shows per-benchmark
+// the same benchmark run core.Analyze once and share the result; the
+// persistent store (when configured) sits under the singleflight, so the
+// lookup order is memory cache → disk store → compute. Completed analyses
+// emit one progress event each, so a live run shows per-benchmark
 // advancement through the dominant pipeline stage.
 func (r *Runner) analysis(ctx context.Context, spec workload.Spec) (*core.Analysis, error) {
 	return r.analyses.Do(ctx, spec.Name, func() (*core.Analysis, error) {
-		an, err := core.Analyze(ctx, spec, r.cfg)
+		an, err := core.AnalyzeStored(ctx, spec, r.cfg, r.store)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: analyze %s: %w", spec.Name, err)
 		}
@@ -153,17 +165,44 @@ func (r *Runner) analysis(ctx context.Context, spec workload.Spec) (*core.Analys
 	})
 }
 
+// wholeKey is the store key of a whole-run replay profile. The profile is a
+// function of the built program alone (benchmark + scale) plus the
+// scale-derived cache hierarchy, so the scale identifies it completely.
+func (r *Runner) wholeKey(kind, bench string) store.Key {
+	return store.Key{Kind: kind, Bench: bench, Parts: []string{
+		"scale=" + r.opts.Scale.Name,
+		fmt.Sprintf("div=%d", r.opts.Scale.Div),
+	}}
+}
+
 // wholeCache returns (and caches) the benchmark's whole-run cache profile.
 func (r *Runner) wholeCache(ctx context.Context, an *core.Analysis) (core.CacheProfile, error) {
 	return r.wholeC.Do(ctx, an.Spec.Name, func() (core.CacheProfile, error) {
-		return an.WholeCache(ctx, r.CacheConfig())
+		key := r.wholeKey("whole_cache", an.Spec.Name)
+		var p core.CacheProfile
+		if r.store.Get(ctx, key, &p) {
+			return p, nil
+		}
+		p, err := an.WholeCache(ctx, r.CacheConfig())
+		if err != nil {
+			return p, err
+		}
+		_ = r.store.Put(ctx, key, p) // cache write failure must not fail the run
+		return p, nil
 	})
 }
 
 // wholeMix returns (and caches) the benchmark's whole-run instruction mix.
 func (r *Runner) wholeMix(ctx context.Context, an *core.Analysis) core.MixProfile {
 	mp, _ := r.wholeM.Do(ctx, an.Spec.Name, func() (core.MixProfile, error) {
-		return an.WholeMix(ctx), nil
+		key := r.wholeKey("whole_mix", an.Spec.Name)
+		var p core.MixProfile
+		if r.store.Get(ctx, key, &p) {
+			return p, nil
+		}
+		p = an.WholeMix(ctx)
+		_ = r.store.Put(ctx, key, p) // cache write failure must not fail the run
+		return p, nil
 	})
 	return mp
 }

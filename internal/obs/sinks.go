@@ -21,6 +21,9 @@ type JSONLSink struct {
 	c     io.Closer
 	epoch time.Time
 	done  bool
+	// werr records the first write error so Close can surface it. Without
+	// it a full disk mid-run would yield a silently truncated trace.
+	werr error
 }
 
 // NewJSONLSink wraps w. If w is an io.Closer (a file), Close closes it.
@@ -51,8 +54,12 @@ func (s *JSONLSink) emit(v interface{}) {
 	}
 	s.mu.Lock()
 	if !s.done {
-		s.w.Write(blob)
-		s.w.WriteByte('\n')
+		if _, werr := s.w.Write(blob); werr != nil && s.werr == nil {
+			s.werr = werr
+		}
+		if werr := s.w.WriteByte('\n'); werr != nil && s.werr == nil {
+			s.werr = werr
+		}
 	}
 	s.mu.Unlock()
 }
@@ -99,7 +106,10 @@ func (s *JSONLSink) Progress(ev ProgressEvent) {
 }
 
 // Close appends a final {"type":"metrics",...} snapshot, flushes, and
-// closes the underlying file if there is one.
+// closes the underlying file if there is one. It returns the first error
+// the sink encountered — a mid-run write failure (recorded by emit), then a
+// flush failure, then a close failure — so a truncated trace is never
+// silent.
 func (s *JSONLSink) Close() error {
 	s.emit(struct {
 		Type    string        `json:"type"`
@@ -108,7 +118,10 @@ func (s *JSONLSink) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.done = true
-	err := s.w.Flush()
+	err := s.werr
+	if ferr := s.w.Flush(); err == nil {
+		err = ferr
+	}
 	if s.c != nil {
 		if cerr := s.c.Close(); err == nil {
 			err = cerr

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// failAfterWriter accepts the first n bytes, then fails every write with a
+// distinct error so the test can assert the *first* failure is the one
+// surfaced (a full disk keeps failing, but the first error carries the
+// truncation point).
+type failAfterWriter struct {
+	n     int
+	fails int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.n >= len(p) && w.fails == 0 {
+		w.n -= len(p)
+		return len(p), nil
+	}
+	w.fails++
+	return 0, fmt.Errorf("disk full (write %d)", w.fails)
+}
+
+// TestJSONLSinkSurfacesWriteErrors regresses the silent-truncation bug:
+// emit used to ignore bufio write errors entirely, so a trace cut short by
+// a full disk looked like a clean run. The sink must record the first
+// write error and return it from Close.
+func TestJSONLSinkSurfacesWriteErrors(t *testing.T) {
+	w := &failAfterWriter{n: 64}
+	s := NewJSONLSink(w)
+	// Push well past the 4 KiB bufio buffer so the failing writer is hit
+	// mid-run, not only at the final flush.
+	for i := 0; i < 200; i++ {
+		s.Progress(ProgressEvent{
+			Time:  time.Now(),
+			Stage: "analyze",
+			Done:  i,
+			Total: 200,
+			Msg:   "some benchmark name to pad the record out",
+		})
+	}
+	err := s.Close()
+	if err == nil {
+		t.Fatal("Close returned nil after underlying writes failed")
+	}
+	if got, want := err.Error(), "disk full (write 1)"; got != want {
+		t.Errorf("Close error = %q, want the first write error %q", got, want)
+	}
+	if w.fails == 0 {
+		t.Fatal("test writer never failed; buffer sizing assumption broken")
+	}
+}
+
+// TestJSONLSinkCloseErrorPrecedence: a recorded write error wins over a
+// close error from the underlying file.
+type failCloser struct{ failAfterWriter }
+
+func (c *failCloser) Close() error { return errors.New("close failed") }
+
+func TestJSONLSinkCloseErrorPrecedence(t *testing.T) {
+	c := &failCloser{failAfterWriter{n: 0}}
+	s := NewJSONLSink(c)
+	for i := 0; i < 200; i++ {
+		s.Progress(ProgressEvent{Time: time.Now(), Stage: "x", Msg: "padding padding padding"})
+	}
+	err := s.Close()
+	if err == nil {
+		t.Fatal("Close returned nil")
+	}
+	if got, want := err.Error(), "disk full (write 1)"; got != want {
+		t.Errorf("Close error = %q, want first write error %q (not the close error)", got, want)
+	}
+}
+
+// TestJSONLSinkCleanClose: no writes fail, Close reports only a close
+// failure from the underlying writer (pre-existing behaviour preserved).
+type okCloser struct {
+	failAfterWriter
+	closeErr error
+}
+
+func (c *okCloser) Close() error { return c.closeErr }
+
+func TestJSONLSinkCleanClose(t *testing.T) {
+	c := &okCloser{failAfterWriter: failAfterWriter{n: 1 << 20}, closeErr: errors.New("boom")}
+	s := NewJSONLSink(c)
+	s.Progress(ProgressEvent{Time: time.Now(), Stage: "x"})
+	if err := s.Close(); err == nil || err.Error() != "boom" {
+		t.Errorf("Close error = %v, want the underlying close error", err)
+	}
+}

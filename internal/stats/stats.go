@@ -155,11 +155,25 @@ func Pearson(xs, ys []float64) float64 {
 
 // Percentile returns the p-th percentile (0..100) of values using linear
 // interpolation between order statistics. It copies its input.
+//
+// NaN values are filtered out before sorting: sort.Float64s leaves NaNs in
+// unspecified positions, so keeping them would make the result depend on
+// the input order (and often be NaN-adjacent garbage). If every value is
+// NaN the result is NaN — an explicit propagation the caller can detect —
+// while empty input keeps returning 0.
 func Percentile(values []float64, p float64) float64 {
 	if len(values) == 0 {
 		return 0
 	}
-	sorted := append([]float64(nil), values...)
+	sorted := make([]float64, 0, len(values))
+	for _, v := range values {
+		if !math.IsNaN(v) {
+			sorted = append(sorted, v)
+		}
+	}
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
 	sort.Float64s(sorted)
 	if p <= 0 {
 		return sorted[0]

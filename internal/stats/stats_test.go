@@ -192,6 +192,39 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// TestPercentileNaN regresses the order-dependent-garbage bug: sort.Float64s
+// leaves NaNs in unspecified positions, so before NaN filtering the result
+// of Percentile depended on where the NaNs happened to land in the input.
+func TestPercentileNaN(t *testing.T) {
+	nan := math.NaN()
+	// Every permutation of NaN placement must yield the NaN-free answer.
+	perms := [][]float64{
+		{nan, 1, 2, 3, 4, 5},
+		{1, 2, nan, 3, 4, 5},
+		{1, 2, 3, 4, 5, nan},
+		{nan, 5, nan, 3, 1, 4, 2, nan},
+	}
+	for _, vals := range perms {
+		for _, p := range []float64{0, 25, 50, 75, 100} {
+			want := Percentile([]float64{1, 2, 3, 4, 5}, p)
+			if got := Percentile(vals, p); !approx(got, want, 1e-12) {
+				t.Errorf("Percentile(%v, %v) = %v, want %v (NaNs must be filtered)", vals, p, got, want)
+			}
+		}
+	}
+	// All-NaN input propagates NaN explicitly rather than returning a
+	// position-dependent value.
+	if got := Percentile([]float64{nan, nan}, 50); !math.IsNaN(got) {
+		t.Errorf("Percentile(all NaN) = %v, want NaN", got)
+	}
+	// A single finite value among NaNs is that value at every percentile.
+	for _, p := range []float64{0, 50, 100} {
+		if got := Percentile([]float64{nan, 7, nan}, p); got != 7 {
+			t.Errorf("Percentile([NaN 7 NaN], %v) = %v, want 7", p, got)
+		}
+	}
+}
+
 func TestPercentileDoesNotMutate(t *testing.T) {
 	vals := []float64{3, 1, 2}
 	Percentile(vals, 50)

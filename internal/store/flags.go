@@ -1,0 +1,40 @@
+package store
+
+import (
+	"flag"
+	"os"
+)
+
+// Flags is the standard cache flag pair every command exposes:
+//
+//	-cache-dir DIR   persistent artifact cache (default: env SPECSIM_CACHE)
+//	-no-cache        force the cache off even when a directory is configured
+//
+// Bind them with BindFlags, then Open after parsing; Open returns a nil
+// *Store (a valid always-miss cache) when caching is disabled.
+type Flags struct {
+	Dir     string
+	NoCache bool
+}
+
+// BindFlags registers the cache flags on fs. The -cache-dir default comes
+// from the SPECSIM_CACHE environment variable, so a standing cache can be
+// configured once per machine.
+func BindFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Dir, "cache-dir", os.Getenv("SPECSIM_CACHE"),
+		"persistent artifact cache directory: profiles, clusterings and replay "+
+			"profiles are reused across runs and interrupted runs resume "+
+			"(empty disables; env SPECSIM_CACHE sets the default)")
+	fs.BoolVar(&f.NoCache, "no-cache", false,
+		"disable the persistent artifact cache even when -cache-dir or SPECSIM_CACHE is set")
+	return f
+}
+
+// Open resolves the parsed flags to a store: nil when disabled.
+func (f *Flags) Open() (*Store, error) {
+	if f.NoCache || f.Dir == "" {
+		return nil, nil
+	}
+	return Open(f.Dir)
+}
