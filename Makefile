@@ -1,15 +1,21 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check vet fmtcheck build test race bench benchsmoke cachesmoke
+.PHONY: check vet lint fmtcheck build test race racesmoke bench benchsmoke cachesmoke
 
-## check: the pre-commit gate — vet, gofmt, build, the full suite under
-## -race, a single-iteration pass over every benchmark (including the obs
-## overhead guard), and a warm-cache smoke run of the persistent store.
-check: vet fmtcheck build race benchsmoke cachesmoke
+## check: the pre-commit gate — gofmt, vet, the project's own static
+## analysis (speclint), build, the full test suite, the determinism tests
+## under -race, a single-iteration pass over every benchmark (including the
+## obs overhead guard), and a warm-cache smoke run of the persistent store.
+check: fmtcheck vet lint build test racesmoke benchsmoke cachesmoke
 
 vet:
 	$(GO) vet ./...
+
+## lint: the project-specific analyzers (see DESIGN.md §9) — determinism,
+## cancellation and cache-key invariants the generic tools cannot see.
+lint:
+	$(GO) run ./cmd/speclint ./...
 
 ## fmtcheck: fail if any file needs gofmt (and list the offenders).
 fmtcheck:
@@ -24,6 +30,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+## racesmoke: the determinism and resume tests under the race detector —
+## the exact tests whose guarantees the parallel kernels could quietly
+## break. Far faster than `make race`; the full sweep remains available.
+racesmoke:
+	$(GO) test -race -run 'TestRunIdenticalAcrossWorkerCounts|TestRunIdenticalAcrossRepeats|TestBestKIdenticalAcrossWorkerCounts|TestBestKWeightedIdenticalAcrossWorkerCounts' ./internal/kmeans
+	$(GO) test -race -run 'TestFiguresIdenticalAcrossWorkerCounts|TestResumeAfterCancelledRun|TestCorruptCacheEntriesDegradeToRecompute' ./internal/experiments
 
 ## bench: one testing.B benchmark per paper table/figure, single iteration.
 bench:

@@ -50,8 +50,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// The root context is minted here and nowhere else: SIGINT cancels it,
+	// and every pipeline stage below sees the same cancellation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
+		stop()
 		os.Exit(exitCode(err))
 	}
 }
@@ -67,7 +72,7 @@ func exitCode(err error) int {
 	return 1
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	id := fs.String("run", "all", "experiment id: "+strings.Join(experiments.IDs(), ", ")+" or all")
 	scaleName := fs.String("scale", "medium", "workload scale: full, medium or small (env SPECSIM_SCALE overrides)")
@@ -119,9 +124,6 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-
 	// interrupted maps a SIGINT cancellation to a clear, resumability-aware
 	// error (main turns it into exit status 130 via exitCode).
 	interrupted := func(err error) error {
@@ -154,7 +156,7 @@ func run(args []string) error {
 			benchNames = append(benchNames, s.Name)
 		}
 		if err := report.WriteJSON(f, scale.Name, benchNames); err != nil {
-			f.Close()
+			_ = f.Close() // the encode error is the one worth reporting
 			return err
 		}
 		if err := f.Close(); err != nil {

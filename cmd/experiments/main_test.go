@@ -10,22 +10,22 @@ import (
 )
 
 func TestRunValidation(t *testing.T) {
-	if err := run([]string{"-scale", "nope"}); err == nil {
+	if err := run(context.Background(), []string{"-scale", "nope"}); err == nil {
 		t.Error("unknown scale accepted")
 	}
-	if err := run([]string{"-run", "fig99", "-scale", "small", "-bench", "520.omnetpp_r"}); err == nil {
+	if err := run(context.Background(), []string{"-run", "fig99", "-scale", "small", "-bench", "520.omnetpp_r"}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run([]string{"-run", "tableII", "-scale", "small", "-bench", "nope"}); err == nil {
+	if err := run(context.Background(), []string{"-run", "tableII", "-scale", "small", "-bench", "nope"}); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 }
 
 func TestRunSingleExperiment(t *testing.T) {
-	if err := run([]string{"-run", "tableI", "-scale", "small", "-bench", "520.omnetpp_r"}); err != nil {
+	if err := run(context.Background(), []string{"-run", "tableI", "-scale", "small", "-bench", "520.omnetpp_r"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-run", "fig6", "-scale", "small", "-bench", "520.omnetpp_r,557.xz_r"}); err != nil {
+	if err := run(context.Background(), []string{"-run", "fig6", "-scale", "small", "-bench", "520.omnetpp_r,557.xz_r"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -52,17 +52,17 @@ func TestExitCode(t *testing.T) {
 func TestRunWithCacheDir(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "cache")
 	args := []string{"-run", "tableII", "-scale", "small", "-bench", "505.mcf_r", "-cache-dir", dir}
-	if err := run(args); err != nil {
+	if err := run(context.Background(), args); err != nil {
 		t.Fatalf("cold cached run: %v", err)
 	}
 	ents, err := os.ReadDir(dir)
 	if err != nil || len(ents) == 0 {
 		t.Fatalf("cache dir not populated (entries %v, err %v)", ents, err)
 	}
-	if err := run(args); err != nil {
+	if err := run(context.Background(), args); err != nil {
 		t.Fatalf("warm cached run: %v", err)
 	}
-	if err := run(append(args, "-no-cache")); err != nil {
+	if err := run(context.Background(), append(args, "-no-cache")); err != nil {
 		t.Fatalf("-no-cache run: %v", err)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 
 	"specsampling/internal/cache"
@@ -25,19 +26,23 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// Root context: SIGINT aborts logging/replay cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "pinplay:", err)
+		stop()
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	if len(args) == 0 {
 		return fmt.Errorf("usage: pinplay <log|replay> [flags]")
 	}
 	switch args[0] {
 	case "log":
-		return logPinballs(args[1:])
+		return logPinballs(ctx, args[1:])
 	case "replay":
 		return replay(args[1:])
 	default:
@@ -45,7 +50,7 @@ func run(args []string) error {
 	}
 }
 
-func logPinballs(args []string) error {
+func logPinballs(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("log", flag.ContinueOnError)
 	bench := fs.String("bench", "", "benchmark name")
 	dir := fs.String("dir", ".", "output directory")
@@ -68,7 +73,7 @@ func logPinballs(args []string) error {
 	}
 	cfg := core.DefaultConfig(scale)
 	cfg.MaxK = *maxK
-	an, err := core.Analyze(context.Background(), spec, cfg)
+	an, err := core.Analyze(ctx, spec, cfg)
 	if err != nil {
 		return err
 	}

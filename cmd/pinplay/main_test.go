@@ -1,32 +1,34 @@
 package main
 
 import (
+	"context"
+
 	"os"
 	"path/filepath"
 	"testing"
 )
 
 func TestRunValidation(t *testing.T) {
-	if err := run(nil); err == nil {
+	if err := run(context.Background(), nil); err == nil {
 		t.Error("no args accepted")
 	}
-	if err := run([]string{"bogus"}); err == nil {
+	if err := run(context.Background(), []string{"bogus"}); err == nil {
 		t.Error("unknown subcommand accepted")
 	}
-	if err := run([]string{"log"}); err == nil {
+	if err := run(context.Background(), []string{"log"}); err == nil {
 		t.Error("log without -bench accepted")
 	}
-	if err := run([]string{"replay"}); err == nil {
+	if err := run(context.Background(), []string{"replay"}); err == nil {
 		t.Error("replay without -pinball accepted")
 	}
-	if err := run([]string{"replay", "-pinball", "/nonexistent.pb"}); err == nil {
+	if err := run(context.Background(), []string{"replay", "-pinball", "/nonexistent.pb"}); err == nil {
 		t.Error("missing pinball file accepted")
 	}
 }
 
 func TestLogThenReplay(t *testing.T) {
 	dir := t.TempDir()
-	if err := run([]string{"log", "-bench", "omnetpp_r", "-scale", "small",
+	if err := run(context.Background(), []string{"log", "-bench", "omnetpp_r", "-scale", "small",
 		"-dir", dir, "-warmup", "2"}); err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +37,7 @@ func TestLogThenReplay(t *testing.T) {
 		t.Fatalf("whole pinball missing: %v", err)
 	}
 	region := filepath.Join(dir, "520.omnetpp_r.region_00.pb")
-	if err := run([]string{"replay", "-pinball", region, "-scale", "small"}); err != nil {
+	if err := run(context.Background(), []string{"replay", "-pinball", region, "-scale", "small"}); err != nil {
 		t.Fatal(err)
 	}
 }

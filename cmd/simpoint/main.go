@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"specsampling/internal/core"
 	"specsampling/internal/simpoint"
@@ -22,13 +23,18 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// Root context: SIGINT aborts the analysis cleanly instead of killing
+	// the process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "simpoint:", err)
+		stop()
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("simpoint", flag.ContinueOnError)
 	bench := fs.String("bench", "", "benchmark name (e.g. 623.xalancbmk_s)")
 	scaleName := fs.String("scale", "medium", "workload scale: full, medium or small")
@@ -52,7 +58,7 @@ func run(args []string) error {
 	}
 	cfg := core.DefaultConfig(scale)
 	cfg.MaxK = *maxK
-	an, err := core.Analyze(context.Background(), spec, cfg)
+	an, err := core.Analyze(ctx, spec, cfg)
 	if err != nil {
 		return err
 	}

@@ -1,19 +1,21 @@
 package main
 
 import (
+	"context"
+
 	"os"
 	"path/filepath"
 	"testing"
 )
 
 func TestRunValidation(t *testing.T) {
-	if err := run(nil); err == nil {
+	if err := run(context.Background(), nil); err == nil {
 		t.Error("missing -bench accepted")
 	}
-	if err := run([]string{"-bench", "nope"}); err == nil {
+	if err := run(context.Background(), []string{"-bench", "nope"}); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
-	if err := run([]string{"-bench", "505.mcf_r", "-scale", "nope"}); err == nil {
+	if err := run(context.Background(), []string{"-bench", "505.mcf_r", "-scale", "nope"}); err == nil {
 		t.Error("unknown scale accepted")
 	}
 }
@@ -21,7 +23,7 @@ func TestRunValidation(t *testing.T) {
 func TestRunWritesFiles(t *testing.T) {
 	dir := t.TempDir()
 	prefix := filepath.Join(dir, "omn")
-	err := run([]string{"-bench", "omnetpp_r", "-scale", "small",
+	err := run(context.Background(), []string{"-bench", "omnetpp_r", "-scale", "small",
 		"-percentile", "0.9", "-o", prefix})
 	if err != nil {
 		t.Fatal(err)
@@ -37,7 +39,7 @@ func TestRunWritesFiles(t *testing.T) {
 }
 
 func TestRunWeightedMode(t *testing.T) {
-	if err := run([]string{"-bench", "omnetpp_r", "-scale", "small", "-weighted"}); err != nil {
+	if err := run(context.Background(), []string{"-bench", "omnetpp_r", "-scale", "small", "-weighted"}); err != nil {
 		t.Fatal(err)
 	}
 }

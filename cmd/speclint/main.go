@@ -1,0 +1,79 @@
+// Command speclint runs the reproduction's project-specific static
+// analyzers (see internal/analysis) over the module and exits non-zero on
+// findings.
+//
+// Usage:
+//
+//	speclint [-analyzers detmap,spanleak,...] [packages]
+//
+// Packages are directories ("./internal/kmeans") or recursive patterns
+// ("./..."); the default is "./..." from the working directory. Diagnostics
+// print as "file:line:col: analyzer: message". Findings can be suppressed
+// with a reasoned "//lint:ignore <analyzer> <reason>" comment on the
+// flagged line or the line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"specsampling/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("speclint", flag.ContinueOnError)
+	names := fs.String("analyzers", "",
+		"comma-separated analyzer subset (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *names != "" {
+		analyzers = analysis.ByName(*names)
+		if analyzers == nil {
+			fmt.Fprintf(os.Stderr, "speclint: unknown analyzer in %q\n", *names)
+			return 2
+		}
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader("")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "speclint:", err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "speclint:", err)
+		return 2
+	}
+	diags := analysis.Run(loader.Fset(), pkgs, loader.ModulePath(), analyzers)
+	wd, _ := os.Getwd()
+	for _, d := range diags {
+		if rel, err := filepath.Rel(wd, d.Pos.Filename); err == nil && len(rel) < len(d.Pos.Filename) {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "speclint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}

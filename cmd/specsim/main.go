@@ -18,9 +18,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"specsampling/internal/cache"
 	"specsampling/internal/obs"
@@ -31,13 +33,18 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// Root context: SIGINT aborts the phases analysis cleanly; the store
+	// keeps every stage completed before the interrupt.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "specsim:", err)
+		stop()
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	if len(args) == 0 {
 		return fmt.Errorf("usage: specsim <list|run|phases> [flags]")
 	}
@@ -47,7 +54,7 @@ func run(args []string) error {
 	case "run":
 		return runBench(args[1:])
 	case "phases":
-		return phasesCmd(args[1:])
+		return phasesCmd(ctx, args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q (want list, run or phases)", args[0])
 	}

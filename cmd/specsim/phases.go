@@ -22,7 +22,7 @@ import (
 // the execution with each slice labelled by its cluster, plus per-phase
 // statistics — the view Wu et al. (IISWC 2018) correlate with simulation
 // points, as discussed in the paper's related work.
-func phasesCmd(args []string) error {
+func phasesCmd(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("phases", flag.ContinueOnError)
 	bench := fs.String("bench", "", "benchmark name")
 	scaleName := fs.String("scale", "medium", "workload scale")
@@ -60,7 +60,7 @@ func phasesCmd(args []string) error {
 	}
 	acfg := core.DefaultConfig(scale)
 	acfg.Workers = *workers
-	an, err := core.AnalyzeStored(context.Background(), spec, acfg, st)
+	an, err := core.AnalyzeStored(ctx, spec, acfg, st)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,178 @@
+// Package analysis is speclint's engine: a pure-stdlib (go/ast, go/parser,
+// go/types, go/token — no golang.org/x/tools) static-analysis driver with
+// project-specific analyzers that enforce the reproduction's invariants:
+//
+//   - detmap     — no order-dependent map iteration in result-producing
+//     packages (results must be byte-identical across runs)
+//   - nondet     — no wall clock, environment or global-RNG reads inside
+//     deterministic kernel packages
+//   - ctxflow    — context.Context is threaded, never minted mid-pipeline
+//   - spanleak   — every obs.Start span reaches an End on every return path
+//   - closecheck — no silently discarded Close/Flush/Sync/Write errors
+//   - cachekey   — every Config field is covered by the store.Key
+//     derivations, so the persistent cache can never alias two
+//     configurations
+//
+// The driver loads and type-checks packages itself (see Loader), runs every
+// analyzer, and reports diagnostics as "file:line:col: analyzer: message".
+// A finding can be suppressed with an explicit, reasoned comment on the
+// flagged line or the line above it:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory: a suppression without one is itself ignored, so
+// every exception in the tree documents why it is safe.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Analyzer is the name of the analyzer that produced it.
+	Analyzer string
+	// Message describes the invariant violation.
+	Message string
+}
+
+// String renders the diagnostic in the conventional
+// "file:line:col: analyzer: message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s",
+		d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path.
+	Path string
+	// Dir is the directory the files were read from.
+	Dir string
+	// Name is the package name from the package clause (analyzers target
+	// packages by name so that testdata fixtures behave like the real tree).
+	Name string
+	// Files is the parsed syntax (non-test files only).
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the type-checking results for Files.
+	Info *types.Info
+}
+
+// Inspect walks every file of the package in source order.
+func (p *Package) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and suppressions.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Global marks analyzers that need the whole loaded package set at
+	// once (cachekey); they run a single pass with Pass.Pkg == nil.
+	Global bool
+	// Run executes the analyzer.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer execution over one package (or, for Global
+// analyzers, over the whole loaded set).
+type Pass struct {
+	// Fset resolves positions for every loaded file.
+	Fset *token.FileSet
+	// Pkg is the package under analysis (nil for Global analyzers).
+	Pkg *Package
+	// All is every package loaded from the command-line patterns.
+	All []*Package
+	// ModulePath is the import path of the module under analysis.
+	ModulePath string
+
+	analyzer string
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// pathTail returns the last element of an import path: both the real
+// "specsampling/internal/obs" and a fixture "…/testdata/src/spanleak/obs"
+// count as package obs.
+func pathTail(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// calleeFunc resolves the static callee of a call expression: a package
+// function, a method, or nil for builtins, conversions, function values and
+// interface calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgCall reports whether call is a call to the package-level function
+// name of a package whose import path ends in pkgTail.
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgTail, name string) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	return pathTail(fn.Pkg().Path()) == pkgTail
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// namedStruct unwraps pointers and returns the named struct type behind t,
+// or nil if t is not a (pointer to a) named struct.
+func namedStruct(t types.Type) *types.Named {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named
+}

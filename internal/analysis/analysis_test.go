@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// runGolden loads one fixture package from testdata/src/<name>, runs the
+// single analyzer it exercises, and checks the diagnostics against the
+// fixture's `// want "regexp"` comments.
+func runGolden(t *testing.T, name string) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers := ByName(name)
+	if analyzers == nil {
+		t.Fatalf("unknown analyzer %q", name)
+	}
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages from %s, want 1", len(pkgs), dir)
+	}
+	diags := Run(l.Fset(), pkgs, l.ModulePath(), analyzers)
+	for _, failure := range CheckGolden(l.Fset(), pkgs, diags) {
+		t.Error(failure)
+	}
+}
+
+func TestDetmapGolden(t *testing.T)     { runGolden(t, "detmap") }
+func TestNondetGolden(t *testing.T)     { runGolden(t, "nondet") }
+func TestCtxflowGolden(t *testing.T)    { runGolden(t, "ctxflow") }
+func TestSpanleakGolden(t *testing.T)   { runGolden(t, "spanleak") }
+func TestClosecheckGolden(t *testing.T) { runGolden(t, "closecheck") }
+func TestCachekeyGolden(t *testing.T)   { runGolden(t, "cachekey") }
+
+// TestTreeClean is the self-run: the full analyzer set over the real module
+// must report nothing. This is what `make lint` enforces in CI terms, pinned
+// here so `go test` alone catches a regression.
+func TestTreeClean(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load(filepath.Join(l.ModuleDir(), "..."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages from the module")
+	}
+	diags := Run(l.Fset(), pkgs, l.ModulePath(), All())
+	for _, d := range diags {
+		t.Errorf("finding on the real tree: %s", d)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if got := ByName("detmap,spanleak"); len(got) != 2 {
+		t.Fatalf("ByName(detmap,spanleak) returned %d analyzers, want 2", len(got))
+	}
+	if got := ByName("nosuch"); got != nil {
+		t.Fatalf("ByName(nosuch) = %v, want nil", got)
+	}
+}

@@ -1,0 +1,222 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Cachekey guards the persistent store's content addressing. Artifacts are
+// keyed by a SHA-256 digest of configuration parts (see internal/store), so
+// the cache is only sound if every Config field that can change a stage's
+// output is folded into some store.Key derivation. A field added to a
+// Config but forgotten in the key means two different configurations hash
+// to the same artifact — the second run silently reads the first run's
+// results. That bug is invisible to example-based tests (every test uses
+// one configuration) and is exactly what this analyzer catches at compile
+// time.
+//
+// Mechanics: every function whose results include a store.Key type is a
+// key-derivation root. The analyzer walks the static call graph reachable
+// from those roots and records every field of every *Config struct that the
+// reachable code mentions (reads, writes, or sets in a composite literal —
+// a field copied into the key's inputs counts as covered). Any Config type
+// with at least one covered field must have all of its fields covered;
+// uncovered fields are reported at their declaration. Fields that are
+// deliberately excluded (e.g. worker budgets that cannot change results)
+// are documented with //lint:ignore cachekey <reason> at the field.
+var Cachekey = &Analyzer{
+	Name:   "cachekey",
+	Doc:    "every Config field must be covered by a store.Key derivation",
+	Global: true,
+	Run:    runCachekey,
+}
+
+// declSite pairs a function declaration with the package that owns it (the
+// package's Info is needed to resolve names inside the body).
+type declSite struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+func runCachekey(pass *Pass) {
+	// Index every function declaration in the loaded set.
+	decls := map[*types.Func]declSite{}
+	var roots []*types.Func
+	for _, pkg := range pass.All {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				decls[fn] = declSite{pkg: pkg, decl: fd}
+				if returnsStoreKey(fn) {
+					roots = append(roots, fn)
+				}
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].FullName() < roots[j].FullName() })
+
+	// BFS over static calls from the key-derivation roots.
+	reachable := map[*types.Func]bool{}
+	work := append([]*types.Func(nil), roots...)
+	for len(work) > 0 {
+		fn := work[0]
+		work = work[1:]
+		if reachable[fn] {
+			continue
+		}
+		reachable[fn] = true
+		site, ok := decls[fn]
+		if !ok {
+			continue
+		}
+		ast.Inspect(site.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := calleeFunc(site.pkg.Info, call); callee != nil && !reachable[callee] {
+				if _, has := decls[callee]; has {
+					work = append(work, callee)
+				}
+			}
+			return true
+		})
+	}
+
+	// Collect mentioned (type, field) pairs across the reachable bodies.
+	type fieldRef struct {
+		typ   *types.Named
+		field string
+	}
+	mentioned := map[fieldRef]bool{}
+	candidates := map[*types.Named]bool{}
+	consider := func(named *types.Named, field string) {
+		if named == nil || !isModuleConfig(pass, named) {
+			return
+		}
+		candidates[named] = true
+		mentioned[fieldRef{named, field}] = true
+	}
+	for fn := range reachable {
+		site, ok := decls[fn]
+		if !ok {
+			continue
+		}
+		info := site.pkg.Info
+		ast.Inspect(site.decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+					consider(namedStruct(sel.Recv()), n.Sel.Name)
+				}
+			case *ast.CompositeLit:
+				named := namedStruct(info.TypeOf(n))
+				if named == nil {
+					return true
+				}
+				st, _ := named.Underlying().(*types.Struct)
+				if st == nil {
+					return true
+				}
+				keyed := false
+				for _, elt := range n.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						keyed = true
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							consider(named, id.Name)
+						}
+					}
+				}
+				if !keyed && len(n.Elts) > 0 {
+					// Positional literal: every field is set.
+					for i := 0; i < st.NumFields(); i++ {
+						consider(named, st.Field(i).Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Also count the receivers of the roots themselves: a method on a
+	// Config is part of that Config's key story even before it touches a
+	// field.
+	for _, fn := range roots {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if named := namedStruct(sig.Recv().Type()); named != nil && isModuleConfig(pass, named) {
+				candidates[named] = true
+			}
+		}
+	}
+
+	rootNames := make([]string, len(roots))
+	for i, r := range roots {
+		rootNames[i] = r.Name()
+	}
+	// Report uncovered fields of every candidate Config, in deterministic
+	// type order.
+	ordered := make([]*types.Named, 0, len(candidates))
+	for named := range candidates {
+		ordered = append(ordered, named)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		return ordered[i].Obj().Pkg().Path()+"."+ordered[i].Obj().Name() <
+			ordered[j].Obj().Pkg().Path()+"."+ordered[j].Obj().Name()
+	})
+	for _, named := range ordered {
+		st := named.Underlying().(*types.Struct)
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if mentioned[fieldRef{named, f.Name()}] {
+				continue
+			}
+			pass.Reportf(f.Pos(),
+				"field %s of %s.%s is not covered by any store.Key derivation (%s); configurations differing only in %s would share a cache entry",
+				f.Name(), pathTail(named.Obj().Pkg().Path()), named.Obj().Name(),
+				strings.Join(rootNames, ", "), f.Name())
+		}
+	}
+}
+
+// returnsStoreKey reports whether any result of fn is the store.Key type
+// (a named type Key from a package whose path ends in "store").
+func returnsStoreKey(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		named, ok := sig.Results().At(i).Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Name() == "Key" && obj.Pkg() != nil && pathTail(obj.Pkg().Path()) == "store" {
+			return true
+		}
+	}
+	return false
+}
+
+// isModuleConfig reports whether named is a configuration struct defined in
+// the module under analysis (name ending in "Config", inside ModulePath).
+func isModuleConfig(pass *Pass, named *types.Named) bool {
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Name(), "Config") {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == pass.ModulePath || strings.HasPrefix(path, pass.ModulePath+"/")
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// closeCheckedNames are the I/O completion methods whose error results
+// report data loss: a failed Close/Flush/Sync after buffered writes means
+// bytes never reached the disk, and a failed Write means they never left
+// the process. Dropping those errors turns truncated artifacts into
+// "successful" runs.
+var closeCheckedNames = map[string]bool{
+	"Close": true,
+	"Flush": true,
+	"Sync":  true,
+	"Write": true,
+}
+
+// Closecheck flags statement-level calls to Close/Flush/Sync/Write that
+// return an error nobody looks at. `defer f.Close()` on read-only handles
+// stays allowed (the deferred idiom), and an explicit `_ = f.Close()`
+// documents a considered discard — the analyzer only rejects the silent
+// form where nothing in the source admits an error exists. Test files are
+// never loaded by the driver, so tests are exempt by construction.
+var Closecheck = &Analyzer{
+	Name: "closecheck",
+	Doc:  "no silently discarded Close/Flush/Sync/Write errors",
+	Run:  runClosecheck,
+}
+
+func runClosecheck(pass *Pass) {
+	info := pass.Pkg.Info
+	pass.Pkg.Inspect(func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || !closeCheckedNames[fn.Name()] {
+			return true
+		}
+		if !returnsError(fn) {
+			return true
+		}
+		// bytes.Buffer, strings.Builder and hash.Hash document that their
+		// Write methods never return an error; the error result only exists
+		// to satisfy io interfaces. The method object may belong to an
+		// embedded interface (hash.Hash's Write is io.Writer's), so the
+		// exemption keys on the receiver's declared type, not the method's.
+		if neverFailsReceiver(info, call) {
+			return true
+		}
+		pass.Reportf(es.Pos(),
+			"error result of %s is silently discarded; handle it or make the discard explicit with `_ = ...`",
+			fn.Name())
+		return true
+	})
+}
+
+// neverFailsReceiver reports whether the call's receiver is a named type
+// from one of the packages whose Write-family methods are documented never
+// to fail (bytes, strings, hash).
+func neverFailsReceiver(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() {
+	case "bytes", "strings", "hash":
+		return true
+	}
+	return false
+}
+
+// returnsError reports whether any of the function's results is error.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		t := sig.Results().At(i).Type()
+		if named, ok := t.(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxflow enforces context threading: the pipeline's cancellation story
+// (deterministic SIGINT aborts, resumable runs) only works if the one root
+// context minted in main flows through every stage. A context.Background()
+// or context.TODO() minted mid-pipeline silently detaches everything below
+// it from cancellation — the run keeps computing after Ctrl-C and the
+// "resume from interrupt" guarantee quietly dies. The only place a root
+// context may be created is func main of a command (and tests, which this
+// driver never loads).
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "context.Context is threaded from main, never minted mid-pipeline",
+	Run:  runCtxflow,
+}
+
+func runCtxflow(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if pass.Pkg.Name == "main" && fd.Name.Name == "main" && fd.Recv == nil {
+				continue // the entry point is where the root context is born
+			}
+			hasCtx := funcHasCtxParam(info, fd.Type)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok && funcHasCtxParam(info, lit.Type) {
+					// A closure with its own ctx parameter is a threading
+					// boundary; check it as such.
+					checkCtxMints(pass, lit.Body, fd.Name.Name, true)
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				reportCtxMint(pass, call, fd.Name.Name, hasCtx)
+				return true
+			})
+		}
+	}
+}
+
+// checkCtxMints walks a closure body that declares its own ctx parameter.
+func checkCtxMints(pass *Pass, body *ast.BlockStmt, owner string, hasCtx bool) {
+	info := pass.Pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && funcHasCtxParam(info, lit.Type) {
+			checkCtxMints(pass, lit.Body, owner, true)
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			reportCtxMint(pass, call, owner, hasCtx)
+		}
+		return true
+	})
+}
+
+// reportCtxMint flags a context.Background()/context.TODO() call.
+func reportCtxMint(pass *Pass, call *ast.CallExpr, owner string, hasCtx bool) {
+	info := pass.Pkg.Info
+	name := ""
+	switch {
+	case isPkgCall(info, call, "context", "Background"):
+		name = "Background"
+	case isPkgCall(info, call, "context", "TODO"):
+		name = "TODO"
+	default:
+		return
+	}
+	if hasCtx {
+		pass.Reportf(call.Pos(),
+			"%s already receives a context.Context; pass it instead of minting context.%s (detaches the call tree from cancellation)",
+			owner, name)
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"context.%s minted outside func main; accept a ctx parameter and thread it from the entry point",
+		name)
+}
+
+// funcHasCtxParam reports whether the function type declares a
+// context.Context parameter.
+func funcHasCtxParam(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if t := info.TypeOf(field.Type); t != nil && isContextType(t) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// detmapPackages are the result-producing packages: everything they compute
+// lands in a report, a figure or a cache artifact that must be byte-identical
+// across runs, so map iteration order must never influence their output.
+var detmapPackages = map[string]bool{
+	"kmeans":      true,
+	"core":        true,
+	"stats":       true,
+	"simpoint":    true,
+	"subset":      true,
+	"experiments": true,
+}
+
+// Detmap flags `range` over a map in result-producing packages. Go
+// randomises map iteration order per run, so any computation that folds over
+// it in iteration order (appending to output, accumulating floats, picking
+// "the first" match) produces run-dependent results — the exact bug class
+// the determinism tests guard against, caught here at compile time. The
+// approved pattern is to collect the keys, sort them, and range over the
+// sorted slice; a pure key-collection loop (append the key, count, delete)
+// is order-insensitive and stays allowed.
+var Detmap = &Analyzer{
+	Name: "detmap",
+	Doc:  "map iteration in result-producing packages must use sorted keys",
+	Run:  runDetmap,
+}
+
+func runDetmap(pass *Pass) {
+	if !detmapPackages[pass.Pkg.Name] {
+		return
+	}
+	info := pass.Pkg.Info
+	pass.Pkg.Inspect(func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if orderInsensitiveMapLoop(info, rs) {
+			return true
+		}
+		pass.Reportf(rs.Pos(),
+			"range over map has nondeterministic iteration order in a result-producing package; collect the keys, sort them, and range over the slice")
+		return true
+	})
+}
+
+// orderInsensitiveMapLoop recognises the loop shapes whose result cannot
+// depend on iteration order: no loop variables at all, or a key-only loop
+// whose body just collects the key (append to a slice, integer count,
+// delete from a map).
+func orderInsensitiveMapLoop(info *types.Info, rs *ast.RangeStmt) bool {
+	if rs.Key == nil && rs.Value == nil {
+		return true
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if rs.Value != nil {
+		if v, ok := rs.Value.(*ast.Ident); !ok || v.Name != "_" {
+			return false
+		}
+	}
+	keyObj := info.Defs[key]
+	if key.Name == "_" || keyObj == nil {
+		return false
+	}
+	for _, stmt := range rs.Body.List {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			// x = append(x, key)
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return false
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok || !isBuiltin(info, call, "append") || len(call.Args) != 2 {
+				return false
+			}
+			if !sameObject(info, s.Lhs[0], call.Args[0]) || !usesObject(info, call.Args[1], keyObj) {
+				return false
+			}
+		case *ast.IncDecStmt:
+			// n++ (integer counters commute; float accumulation does not)
+			t := info.TypeOf(s.X)
+			if t == nil {
+				return false
+			}
+			if b, ok := t.Underlying().(*types.Basic); !ok || b.Info()&types.IsInteger == 0 {
+				return false
+			}
+		case *ast.ExprStmt:
+			// delete(m, key)
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok || !isBuiltin(info, call, "delete") {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// sameObject reports whether two expressions are identifiers bound to the
+// same object.
+func sameObject(info *types.Info, a, b ast.Expr) bool {
+	ai, ok := ast.Unparen(a).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	bi, ok := ast.Unparen(b).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	ao := info.ObjectOf(ai)
+	return ao != nil && ao == info.ObjectOf(bi)
+}
+
+// usesObject reports whether expr is an identifier bound to obj.
+func usesObject(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	return ok && info.ObjectOf(id) == obj
+}

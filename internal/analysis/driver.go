@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// All returns every analyzer, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Detmap,
+		Nondet,
+		Ctxflow,
+		Spanleak,
+		Closecheck,
+		Cachekey,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list ("detmap,spanleak");
+// unknown names return nil.
+func ByName(names string) []*Analyzer {
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, a := range All() {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+			}
+		}
+		if !found {
+			return nil
+		}
+	}
+	return out
+}
+
+// Run executes the analyzers over the loaded packages and returns the
+// surviving diagnostics, deduplicated, suppression-filtered and sorted by
+// position. modulePath scopes module-wide analyzers (cachekey).
+func Run(fset *token.FileSet, pkgs []*Package, modulePath string, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := Pass{Fset: fset, All: pkgs, ModulePath: modulePath, analyzer: a.Name, diags: &diags}
+		if a.Global {
+			a.Run(&pass)
+			continue
+		}
+		for _, pkg := range pkgs {
+			p := pass
+			p.Pkg = pkg
+			a.Run(&p)
+		}
+	}
+	diags = filterSuppressed(fset, pkgs, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return dedup(diags)
+}
+
+// ignoreRe matches "//lint:ignore <analyzer> <reason>". The reason is
+// mandatory — an undocumented suppression does not suppress.
+var ignoreRe = regexp.MustCompile(`^//\s*lint:ignore\s+([A-Za-z0-9_,]+)\s+\S`)
+
+// filterSuppressed drops diagnostics covered by a lint:ignore comment on
+// the same line or the line immediately above (the directive documents the
+// statement it precedes, like a compiler pragma).
+func filterSuppressed(fset *token.FileSet, pkgs []*Package, diags []Diagnostic) []Diagnostic {
+	// file -> line -> set of suppressed analyzer names.
+	suppress := map[string]map[int]map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := ignoreRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					byLine := suppress[pos.Filename]
+					if byLine == nil {
+						byLine = map[int]map[string]bool{}
+						suppress[pos.Filename] = byLine
+					}
+					for _, name := range strings.Split(m[1], ",") {
+						for _, line := range []int{pos.Line, pos.Line + 1} {
+							if byLine[line] == nil {
+								byLine[line] = map[string]bool{}
+							}
+							byLine[line][name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if byLine := suppress[d.Pos.Filename]; byLine != nil && byLine[d.Pos.Line][d.Analyzer] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// dedup removes identical consecutive diagnostics (a Global analyzer and a
+// per-package one can, in principle, land on the same position).
+func dedup(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

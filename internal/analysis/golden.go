@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"sort"
+)
+
+// The golden-comment harness: fixture packages under testdata annotate the
+// lines where an analyzer must fire with
+//
+//	// want "regexp"
+//
+// (several quoted regexps on one line expect several diagnostics). Each
+// want must match exactly one diagnostic on its line, and every diagnostic
+// must be claimed by a want — seeded violations fire exactly once, fixed
+// variants stay silent. Regexps match against "analyzer: message" so a
+// fixture can pin which analyzer caught it.
+
+// wantRe extracts the quoted expectations from a want comment.
+var wantRe = regexp.MustCompile(`//\s*want\s+((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+
+// wantQuoteRe splits the individual quoted regexps.
+var wantQuoteRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type wantEntry struct {
+	re      *regexp.Regexp
+	raw     string
+	line    int
+	file    string
+	matched bool
+}
+
+// CheckGolden compares diagnostics against the fixture's want comments and
+// returns one failure message per mismatch (nil means the fixture passed).
+func CheckGolden(fset *token.FileSet, pkgs []*Package, diags []Diagnostic) []string {
+	wants := map[string]map[int][]*wantEntry{} // file -> line -> expectations
+	var failures []string
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					for _, q := range wantQuoteRe.FindAllStringSubmatch(m[1], -1) {
+						re, err := regexp.Compile(q[1])
+						if err != nil {
+							failures = append(failures, fmt.Sprintf(
+								"%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, q[1], err))
+							continue
+						}
+						if wants[pos.Filename] == nil {
+							wants[pos.Filename] = map[int][]*wantEntry{}
+						}
+						wants[pos.Filename][pos.Line] = append(wants[pos.Filename][pos.Line],
+							&wantEntry{re: re, raw: q[1], line: pos.Line, file: pos.Filename})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		text := d.Analyzer + ": " + d.Message
+		claimed := false
+		for _, w := range wants[d.Pos.Filename][d.Pos.Line] {
+			if !w.matched && w.re.MatchString(text) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			failures = append(failures, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	var unmatched []*wantEntry
+	for _, byLine := range wants {
+		for _, entries := range byLine {
+			for _, w := range entries {
+				if !w.matched {
+					unmatched = append(unmatched, w)
+				}
+			}
+		}
+	}
+	sort.Slice(unmatched, func(i, j int) bool {
+		if unmatched[i].file != unmatched[j].file {
+			return unmatched[i].file < unmatched[j].file
+		}
+		return unmatched[i].line < unmatched[j].line
+	})
+	for _, w := range unmatched {
+		failures = append(failures, fmt.Sprintf(
+			"%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw))
+	}
+	return failures
+}

@@ -1,0 +1,316 @@
+// Package loading without golang.org/x/tools: the Loader resolves import
+// paths to directories itself (module-prefixed paths map into the module
+// tree, everything else into GOROOT), selects files with go/build, parses
+// them with go/parser and type-checks with go/types. Packages named on the
+// command line get full syntax, comments and types.Info; dependencies
+// (including the standard library) are type-checked from source with
+// IgnoreFuncBodies, which keeps a whole-module load well under a few
+// seconds with zero external tooling.
+
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader loads and type-checks packages of one module.
+type Loader struct {
+	fset      *token.FileSet
+	buildCtx  build.Context
+	moduleDir string
+	modPath   string
+	goroot    string
+
+	full     map[string]bool   // import paths requested with full syntax
+	loading  map[string]bool   // cycle guard
+	packages map[string]*entry // memoized loads, by import path
+}
+
+type entry struct {
+	pkg   *Package // full-syntax result (nil for dependency-only loads)
+	types *types.Package
+}
+
+// NewLoader creates a loader rooted at the module containing dir (or the
+// working directory when dir is ""). It walks up to the nearest go.mod to
+// find the module root and path.
+func NewLoader(dir string) (*Loader, error) {
+	if dir == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			return nil, fmt.Errorf("analysis: getwd: %w", err)
+		}
+		dir = wd
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	root, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	ctx := build.Default
+	// Pure-Go file selection: cgo-only variants never reach the checker.
+	ctx.CgoEnabled = false
+	return &Loader{
+		fset:      token.NewFileSet(),
+		buildCtx:  ctx,
+		moduleDir: root,
+		modPath:   modPath,
+		goroot:    ctx.GOROOT,
+		full:      map[string]bool{},
+		loading:   map[string]bool{},
+		packages:  map[string]*entry{},
+	}, nil
+}
+
+// Fset returns the loader's file set (shared by every loaded package).
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// ModuleDir returns the module root directory.
+func (l *Loader) ModuleDir() string { return l.moduleDir }
+
+// ModulePath returns the module's import path from go.mod.
+func (l *Loader) ModulePath() string { return l.modPath }
+
+// findModule walks up from dir to the nearest go.mod and parses the module
+// path from its first "module" directive.
+func findModule(dir string) (root, modPath string, err error) {
+	for d := dir; ; d = filepath.Dir(d) {
+		data, rerr := os.ReadFile(filepath.Join(d, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module directive", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+	}
+}
+
+// Load loads the packages matched by the patterns with full syntax and type
+// information. A pattern is a directory ("./internal/kmeans", absolute paths
+// allowed) or a recursive form ("./...", "dir/..."); matched directories
+// must lie inside the module. Results are sorted by import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs, err := l.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, len(dirs))
+	for _, dir := range dirs {
+		path, err := l.dirImportPath(dir)
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	// Register the full set up front: a pattern package imported by an
+	// earlier pattern package must still be loaded with bodies and syntax.
+	for _, p := range paths {
+		l.full[p] = true
+	}
+	var pkgs []*Package
+	for _, p := range paths {
+		e, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		if e.pkg != nil {
+			pkgs = append(pkgs, e.pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// expand turns patterns into a deduplicated list of package directories.
+func (l *Loader) expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if pat == "..." {
+			pat, recursive = ".", true
+		} else if strings.HasSuffix(pat, "/...") {
+			pat, recursive = strings.TrimSuffix(pat, "/..."), true
+		}
+		abs, err := filepath.Abs(pat)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		if !recursive {
+			add(abs)
+			continue
+		}
+		err = filepath.WalkDir(abs, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			// testdata holds analyzer fixtures (loaded explicitly by the
+			// golden tests, never by "./..."), and hidden/underscore dirs
+			// follow the go tool's matching rules.
+			if path != abs && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if l.hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("analysis: walk %s: %w", abs, err)
+		}
+	}
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir contains at least one buildable non-test
+// Go file under the loader's build context.
+func (l *Loader) hasGoFiles(dir string) bool {
+	bp, err := l.buildCtx.ImportDir(dir, 0)
+	return err == nil && len(bp.GoFiles) > 0
+}
+
+// dirImportPath maps a directory inside the module onto its import path.
+func (l *Loader) dirImportPath(dir string) (string, error) {
+	rel, err := filepath.Rel(l.moduleDir, dir)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return "", fmt.Errorf("analysis: %s is outside module %s", dir, l.moduleDir)
+	}
+	if rel == "." {
+		return l.modPath, nil
+	}
+	return l.modPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// resolveDir maps an import path onto the directory holding its source:
+// module-prefixed paths into the module tree, everything else into GOROOT
+// (with the stdlib vendor directory as fallback).
+func (l *Loader) resolveDir(path string) (string, error) {
+	if path == l.modPath {
+		return l.moduleDir, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.modPath+"/"); ok {
+		return filepath.Join(l.moduleDir, filepath.FromSlash(rest)), nil
+	}
+	for _, dir := range []string{
+		filepath.Join(l.goroot, "src", filepath.FromSlash(path)),
+		filepath.Join(l.goroot, "src", "vendor", filepath.FromSlash(path)),
+	} {
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, nil
+		}
+	}
+	return "", fmt.Errorf("analysis: cannot resolve import %q (module %s)", path, l.modPath)
+}
+
+// Import implements types.Importer by loading the package from source. Full
+// registration (via Load) controls whether bodies and syntax are kept.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	e, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return e.types, nil
+}
+
+// load parses and type-checks one package (memoized).
+func (l *Loader) load(path string) (*entry, error) {
+	if path == "unsafe" {
+		return &entry{types: types.Unsafe}, nil
+	}
+	if e, ok := l.packages[path]; ok {
+		return e, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir, err := l.resolveDir(path)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := l.buildCtx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", path, err)
+	}
+	full := l.full[path]
+	mode := parser.SkipObjectResolution
+	if full {
+		mode |= parser.ParseComments
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, mode)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	var info *types.Info
+	if full {
+		info = &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+			Instances:  map[*ast.Ident]types.Instance{},
+		}
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer:         l,
+		IgnoreFuncBodies: !full,
+		Error:            func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-check %s: %v", path, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check %s: %w", path, err)
+	}
+	e := &entry{types: tpkg}
+	if full {
+		e.pkg = &Package{
+			Path:  path,
+			Dir:   dir,
+			Name:  tpkg.Name(),
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		}
+	}
+	l.packages[path] = e
+	return e, nil
+}

@@ -1,0 +1,365 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Spanleak verifies that every span begun with obs.Start reaches an End on
+// every path out of its scope. A leaked span never reaches the sinks (End
+// is what delivers it), so the trace silently loses exactly the regions
+// that returned early — usually the error paths one most wants to see.
+//
+// The check is a conservative statement-level walk rather than a full CFG:
+// from the Start assignment to the end of its enclosing block, every
+// return must be dominated by either a `defer span.End()` (which covers
+// all later exits) or an explicit span.End() call, and the block itself
+// must not fall off the end with the span still open. Spans that escape
+// (passed to another function, captured by a non-deferred closure, stored
+// in a structure) are assumed to be ended elsewhere and skipped.
+var Spanleak = &Analyzer{
+	Name: "spanleak",
+	Doc:  "every obs.Start span must End on every return path",
+	Run:  runSpanleak,
+}
+
+func runSpanleak(pass *Pass) {
+	info := pass.Pkg.Info
+	pass.Pkg.Inspect(func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		default:
+			return true
+		}
+		if body != nil {
+			checkSpanStarts(pass, info, body)
+		}
+		return true
+	})
+}
+
+// checkSpanStarts scans one function body (not nested literals — Inspect
+// visits those separately) for obs.Start assignments and checks each. The
+// recursion mirrors Go's statement structure directly so every statement
+// list is visited exactly once and function literals are never entered.
+func checkSpanStarts(pass *Pass, info *types.Info, body *ast.BlockStmt) {
+	var walkList func(stmts []ast.Stmt)
+	walkStmt := func(s ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.BlockStmt:
+			walkList(s.List)
+		case *ast.IfStmt:
+			walkList(s.Body.List)
+			for cur := s; ; {
+				switch e := cur.Else.(type) {
+				case *ast.IfStmt:
+					cur = e
+					walkList(cur.Body.List)
+					continue
+				case *ast.BlockStmt:
+					walkList(e.List)
+				}
+				break
+			}
+		case *ast.ForStmt:
+			walkList(s.Body.List)
+		case *ast.RangeStmt:
+			walkList(s.Body.List)
+		case *ast.SwitchStmt:
+			for _, b := range clauseBodies(s.Body) {
+				walkList(b)
+			}
+		case *ast.TypeSwitchStmt:
+			for _, b := range clauseBodies(s.Body) {
+				walkList(b)
+			}
+		case *ast.SelectStmt:
+			for _, b := range clauseBodies(s.Body) {
+				walkList(b)
+			}
+		case *ast.LabeledStmt:
+			walkList([]ast.Stmt{s.Stmt})
+		}
+	}
+	walkList = func(stmts []ast.Stmt) {
+		for i, stmt := range stmts {
+			if as, ok := stmt.(*ast.AssignStmt); ok {
+				if obj, pos, ok := spanStartAssign(pass, info, as); ok {
+					checkSpanLifetime(pass, info, obj, pos, stmts[i+1:], body)
+				}
+			}
+			walkStmt(stmt)
+		}
+	}
+	walkList(body.List)
+}
+
+// spanStartAssign recognises `ctx, span := obs.Start(...)` (or `=`) and
+// returns the span variable's object. A span assigned to the blank
+// identifier is reported immediately: it can never be ended.
+func spanStartAssign(pass *Pass, info *types.Info, as *ast.AssignStmt) (types.Object, ast.Expr, bool) {
+	if len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+		return nil, nil, false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || !isPkgCall(info, call, "obs", "Start") {
+		return nil, nil, false
+	}
+	id, ok := as.Lhs[1].(*ast.Ident)
+	if !ok {
+		return nil, nil, false
+	}
+	if id.Name == "_" {
+		pass.Reportf(as.Pos(), "span from obs.Start is discarded; it can never be ended and will never reach a sink")
+		return nil, nil, false
+	}
+	obj := info.ObjectOf(id)
+	if obj == nil {
+		return nil, nil, false
+	}
+	return obj, as.Lhs[1], true
+}
+
+// checkSpanLifetime runs the path walk for one span over the statements
+// that follow its Start in the same block.
+func checkSpanLifetime(pass *Pass, info *types.Info, obj types.Object, at ast.Expr, rest []ast.Stmt, fnBody *ast.BlockStmt) {
+	if spanEscapes(info, obj, at, fnBody) {
+		return
+	}
+	c := &spanWalker{pass: pass, info: info, obj: obj}
+	ended, terminated := c.scan(rest, false)
+	if !ended && !terminated {
+		pass.Reportf(at.Pos(), "span %s goes out of scope without End on the fall-through path", obj.Name())
+	}
+}
+
+// spanEscapes reports whether the span variable is used in any way other
+// than calling End/Annotate on it — passed as an argument, assigned,
+// captured by a non-deferred closure. Such spans are assumed to be ended by
+// whoever received them. def is the identifier the Start assignment binds —
+// the declaration itself is not a use.
+func spanEscapes(info *types.Info, obj types.Object, def ast.Expr, body *ast.BlockStmt) bool {
+	escapes := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if ok {
+			if id, ok := sel.X.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+				if sel.Sel.Name == "End" || sel.Sel.Name == "Annotate" {
+					return false // the blessed uses; skip the inner ident
+				}
+				escapes = true
+				return false
+			}
+			return true
+		}
+		if id, ok := n.(*ast.Ident); ok && ast.Expr(id) != def && info.ObjectOf(id) == obj {
+			// A bare mention outside span.End()/span.Annotate(): the span
+			// escapes (argument, assignment, closure capture, ...).
+			escapes = true
+		}
+		return true
+	})
+	return escapes
+}
+
+// spanWalker walks statement lists tracking whether the span has been ended
+// on the current path.
+type spanWalker struct {
+	pass *Pass
+	info *types.Info
+	obj  types.Object
+}
+
+// scan processes a statement list with the incoming ended state and returns
+// the state at the end of the list plus whether every path through the list
+// terminates (return/panic/exit) before reaching its end.
+func (c *spanWalker) scan(stmts []ast.Stmt, ended bool) (endedOut, terminated bool) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if c.isEndCall(s.X) {
+				ended = true
+			} else if isTerminalCall(c.info, s.X) {
+				return ended, true
+			}
+		case *ast.DeferStmt:
+			// A registered defer ends the span on every later exit; for
+			// path purposes it behaves exactly like an End here.
+			if c.isDeferredEnd(s) {
+				ended = true
+			}
+		case *ast.ReturnStmt:
+			if !ended {
+				c.pass.Reportf(s.Pos(), "span %s is not ended on this return path", c.obj.Name())
+			}
+			return ended, true
+		case *ast.IfStmt:
+			var exits []bool // ended state of every path that continues past the if
+			cur := s
+			for {
+				thenEnded, thenTerm := c.scan(cur.Body.List, ended)
+				if !thenTerm {
+					exits = append(exits, thenEnded)
+				}
+				switch e := cur.Else.(type) {
+				case *ast.IfStmt:
+					cur = e
+					continue
+				case *ast.BlockStmt:
+					elseEnded, elseTerm := c.scan(e.List, ended)
+					if !elseTerm {
+						exits = append(exits, elseEnded)
+					}
+				case nil:
+					exits = append(exits, ended) // condition-false fall-through
+				}
+				break
+			}
+			if len(exits) == 0 {
+				return ended, true
+			}
+			ended = allTrue(exits)
+		case *ast.SwitchStmt:
+			ended = c.scanClauses(clauseBodies(s.Body), hasDefaultClause(s.Body), ended)
+		case *ast.TypeSwitchStmt:
+			ended = c.scanClauses(clauseBodies(s.Body), hasDefaultClause(s.Body), ended)
+		case *ast.SelectStmt:
+			ended = c.scanClauses(clauseBodies(s.Body), true, ended)
+		case *ast.ForStmt:
+			// The body may run zero times, so the loop never upgrades the
+			// outer state; returns inside still get checked.
+			c.scan(s.Body.List, ended)
+		case *ast.RangeStmt:
+			c.scan(s.Body.List, ended)
+		case *ast.BlockStmt:
+			var term bool
+			ended, term = c.scan(s.List, ended)
+			if term {
+				return ended, true
+			}
+		case *ast.LabeledStmt:
+			var term bool
+			ended, term = c.scan([]ast.Stmt{s.Stmt}, ended)
+			if term {
+				return ended, true
+			}
+		}
+	}
+	return ended, false
+}
+
+// scanClauses merges switch/select case bodies: the state after the
+// statement is "ended" only if every continuing path ended the span.
+func (c *spanWalker) scanClauses(bodies [][]ast.Stmt, hasDefault bool, ended bool) bool {
+	var exits []bool
+	for _, body := range bodies {
+		e, term := c.scan(body, ended)
+		if !term {
+			exits = append(exits, e)
+		}
+	}
+	if !hasDefault {
+		exits = append(exits, ended) // no case taken
+	}
+	if len(exits) == 0 {
+		return ended
+	}
+	return allTrue(exits)
+}
+
+// allTrue reports whether every element is true.
+func allTrue(bs []bool) bool {
+	for _, b := range bs {
+		if !b {
+			return false
+		}
+	}
+	return true
+}
+
+// isEndCall matches span.End() on the tracked span object.
+func (c *spanWalker) isEndCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && c.info.ObjectOf(id) == c.obj
+}
+
+// isDeferredEnd matches `defer span.End()` and `defer func() { ... span.End()
+// ... }()`.
+func (c *spanWalker) isDeferredEnd(d *ast.DeferStmt) bool {
+	if c.isEndCall(d.Call) {
+		return true
+	}
+	lit, ok := d.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok && c.isEndCall(e) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isTerminalCall matches calls that never return: panic, os.Exit, and the
+// log.Fatal family.
+func isTerminalCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, builtin := info.Uses[id].(*types.Builtin); builtin {
+			return true
+		}
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "os":
+		return fn.Name() == "Exit"
+	case "log":
+		return fn.Name() == "Fatal" || fn.Name() == "Fatalf" || fn.Name() == "Fatalln"
+	}
+	return false
+}
+
+// clauseBodies extracts the statement lists of a switch/select body.
+func clauseBodies(body *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, s := range body.List {
+		switch cl := s.(type) {
+		case *ast.CaseClause:
+			out = append(out, cl.Body)
+		case *ast.CommClause:
+			out = append(out, cl.Body)
+		}
+	}
+	return out
+}
+
+// hasDefaultClause reports whether a switch body has a default case.
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, s := range body.List {
+		if cl, ok := s.(*ast.CaseClause); ok && cl.List == nil {
+			return true
+		}
+	}
+	return false
+}

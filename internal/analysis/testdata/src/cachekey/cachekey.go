@@ -1,0 +1,57 @@
+// Package cachekey is the cachekey fixture: ProfileKey folds Scale and
+// SliceLen into the digest but forgets Seed, so two configurations differing
+// only in Seed would share a cache entry — exactly the bug the analyzer
+// exists to catch. Workers is deliberately excluded with a reasoned ignore,
+// and CoveredConfig shows a fully covered type staying silent.
+package cachekey
+
+import (
+	"fmt"
+
+	"specsampling/internal/store"
+)
+
+// Config configures the fixture stage.
+type Config struct {
+	Scale    string
+	SliceLen int
+	Seed     int64 // want "cachekey: field Seed of cachekey.Config is not covered by any store.Key derivation"
+	//lint:ignore cachekey worker budgets cannot change result bytes, only wall-clock
+	Workers int
+}
+
+// CoveredConfig has every field folded into the key.
+type CoveredConfig struct {
+	Alpha float64
+	Beta  float64
+}
+
+// ProfileKey is a key-derivation root: it returns a store.Key.
+func ProfileKey(bench string, c Config) store.Key {
+	return store.Key{
+		Kind:  "profile",
+		Bench: bench,
+		Parts: parts(c),
+	}
+}
+
+// parts is reached through the static call graph from ProfileKey; the field
+// reads here count as key coverage.
+func parts(c Config) []string {
+	return []string{
+		fmt.Sprintf("scale=%s", c.Scale),
+		fmt.Sprintf("slice=%d", c.SliceLen),
+	}
+}
+
+// CoveredKey folds every CoveredConfig field into its key.
+func CoveredKey(bench string, c CoveredConfig) store.Key {
+	return store.Key{
+		Kind:  "covered",
+		Bench: bench,
+		Parts: []string{
+			fmt.Sprintf("alpha=%g", c.Alpha),
+			fmt.Sprintf("beta=%g", c.Beta),
+		},
+	}
+}

@@ -1,0 +1,69 @@
+// Package closecheck is the closecheck fixture: statement-level
+// Close/Flush/Sync/Write calls whose error nobody looks at must fire; the
+// checked, deferred, explicitly-discarded and never-fail forms stay silent.
+package closecheck
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"os"
+)
+
+// BadClose drops the Close error on the success path — after buffered
+// writes, that error is the only notification of data loss.
+func BadClose(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	f.Close() // want "closecheck: error result of Close is silently discarded"
+	return nil
+}
+
+// BadFlush drops the Flush error.
+func BadFlush(w *bufio.Writer) {
+	w.Flush() // want "closecheck: error result of Flush is silently discarded"
+}
+
+// BadSync drops the Sync error.
+func BadSync(f *os.File) {
+	f.Sync() // want "closecheck: error result of Sync is silently discarded"
+}
+
+// GoodChecked returns the Close error to the caller.
+func GoodChecked(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// GoodExplicitDiscard documents a considered discard.
+func GoodExplicitDiscard(f *os.File) {
+	_ = f.Close()
+}
+
+// GoodDefer is the deferred idiom on a read-only handle.
+func GoodDefer(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}
+
+// GoodNeverFails exercises the bytes/hash receiver exemption: their Write
+// methods are documented never to return an error.
+func GoodNeverFails(data []byte) []byte {
+	var buf bytes.Buffer
+	buf.Write(data)
+	h := sha256.New()
+	h.Write(buf.Bytes())
+	return h.Sum(nil)
+}

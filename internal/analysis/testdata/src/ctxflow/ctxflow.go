@@ -1,0 +1,41 @@
+// Command ctxflow is the ctxflow fixture: only func main may mint a root
+// context; everything below it must thread the one it received.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background() // silent: the entry point is where the root context is born
+	run(ctx)
+}
+
+// run already has a context and must not mint a fresh one.
+func run(ctx context.Context) {
+	detached := context.Background() // want "ctxflow: run already receives a context.Context; pass it instead of minting context.Background"
+	use(detached)
+	use(ctx)
+}
+
+// helper has no context at all; it must grow a parameter, not a TODO.
+func helper() {
+	use(context.TODO()) // want "ctxflow: context.TODO minted outside func main; accept a ctx parameter and thread it from the entry point"
+}
+
+// withClosure shows that a closure with its own ctx parameter is still a
+// threading boundary inside its enclosing function.
+func withClosure(ctx context.Context) {
+	f := func(ctx context.Context) {
+		use(context.Background()) // want "ctxflow: withClosure already receives a context.Context; pass it instead of minting context.Background"
+		use(ctx)
+	}
+	f(ctx)
+}
+
+// goodThreading passes the context along and stays silent.
+func goodThreading(ctx context.Context) {
+	run(ctx)
+	helper()
+	withClosure(ctx)
+}
+
+func use(ctx context.Context) { _ = ctx }

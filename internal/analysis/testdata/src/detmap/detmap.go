@@ -1,0 +1,56 @@
+// Package kmeans is the detmap fixture. Its package name places it in the
+// result-producing set, so ranging over a map without sorted keys must fire
+// and the order-insensitive loop shapes must stay silent.
+package kmeans
+
+import "sort"
+
+// BadFold accumulates values in map iteration order; the float sum and the
+// order slice are both run-dependent.
+func BadFold(m map[string]float64) ([]string, float64) {
+	var order []string
+	var sum float64
+	for k, v := range m { // want "detmap: range over map has nondeterministic iteration order"
+		order = append(order, k)
+		sum += v
+	}
+	return order, sum
+}
+
+// BadFirst picks "the first" key, which is a different key every run.
+func BadFirst(m map[string]int) string {
+	for k := range m { // want "detmap: range over map has nondeterministic iteration order"
+		return k
+	}
+	return ""
+}
+
+// GoodSorted is the approved pattern: collect keys, sort, range the slice.
+func GoodSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// GoodCount counts entries; integer counting commutes.
+func GoodCount(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// GoodClear deletes every entry; order cannot matter.
+func GoodClear(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}

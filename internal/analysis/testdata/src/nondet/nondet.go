@@ -1,0 +1,46 @@
+// Package simpoint is the nondet fixture. Its package name places it in the
+// deterministic-kernel set, so wall-clock, environment and global-RNG reads
+// must fire while seeded generators and reasoned suppressions stay silent.
+package simpoint
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// BadClock reads the wall clock twice.
+func BadClock() time.Duration {
+	began := time.Now()      // want "nondet: call to time.Now in deterministic kernel package simpoint"
+	return time.Since(began) // want "nondet: call to time.Since in deterministic kernel package simpoint"
+}
+
+// BadEnv reads ambient configuration instead of a Config field.
+func BadEnv() string {
+	return os.Getenv("SCALE") // want "nondet: call to os.Getenv in deterministic kernel package simpoint"
+}
+
+// BadGlobalRNG draws from the shared, unseeded global source.
+func BadGlobalRNG() int {
+	return rand.Intn(10) // want "nondet: call to rand.Intn uses the global RNG in deterministic kernel package simpoint"
+}
+
+// BadReasonless shows that an ignore directive without a reason does not
+// suppress anything.
+func BadReasonless() time.Time {
+	//lint:ignore nondet
+	return time.Now() // want "nondet: call to time.Now in deterministic kernel package simpoint"
+}
+
+// GoodSeeded draws from an explicitly seeded generator; methods on a
+// *rand.Rand are seeded by construction.
+func GoodSeeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// GoodSuppressed documents an instrumentation-only clock read.
+func GoodSuppressed() time.Time {
+	//lint:ignore nondet fixture for a documented instrumentation-only read
+	return time.Now()
+}

@@ -1,0 +1,69 @@
+// Package spanleak is the spanleak fixture: every obs.Start span must End on
+// every path out of its scope.
+package spanleak
+
+import (
+	"context"
+	"fmt"
+
+	"specsampling/internal/obs"
+)
+
+// GoodDefer ends via defer, which covers every later exit.
+func GoodDefer(ctx context.Context) error {
+	ctx, span := obs.Start(ctx, "good.defer")
+	defer span.End()
+	_ = ctx
+	return nil
+}
+
+// GoodExplicit ends explicitly on both paths.
+func GoodExplicit(ctx context.Context, fail bool) error {
+	_, span := obs.Start(ctx, "good.explicit")
+	if fail {
+		span.End()
+		return fmt.Errorf("failed")
+	}
+	span.End()
+	return nil
+}
+
+// BadReturn leaks the span on the early error return.
+func BadReturn(ctx context.Context, fail bool) error {
+	_, span := obs.Start(ctx, "bad.return")
+	if fail {
+		return fmt.Errorf("failed") // want "spanleak: span span is not ended on this return path"
+	}
+	span.End()
+	return nil
+}
+
+// BadFallthrough never ends the span at all.
+func BadFallthrough(ctx context.Context) {
+	_, span := obs.Start(ctx, "bad.fallthrough") // want "spanleak: span span goes out of scope without End on the fall-through path"
+	span.Annotate(obs.String("outcome", "lost"))
+}
+
+// BadDiscard throws the span away at birth; it can never be ended.
+func BadDiscard(ctx context.Context) {
+	_, _ = obs.Start(ctx, "bad.discard") // want "spanleak: span from obs.Start is discarded"
+}
+
+// GoodEscape hands the span to a helper, which is assumed to end it.
+func GoodEscape(ctx context.Context) {
+	_, span := obs.Start(ctx, "good.escape")
+	endLater(span)
+}
+
+func endLater(span *obs.Span) { span.End() }
+
+// GoodBranches ends the span in every switch arm, including default.
+func GoodBranches(ctx context.Context, mode int) {
+	_, span := obs.Start(ctx, "good.branches")
+	switch mode {
+	case 0:
+		span.End()
+	default:
+		span.End()
+	}
+}

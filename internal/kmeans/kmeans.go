@@ -620,10 +620,12 @@ func bestKWith(points [][]float64, maxK int, threshold float64, cfg Config,
 		}
 		var began time.Time
 		if timed {
+			//lint:ignore nondet instrumentation-only clock read, gated on obs.Enabled; never flows into results
 			began = time.Now()
 		}
 		res, err := run(points, k, sub)
 		if timed {
+			//lint:ignore nondet instrumentation-only duration for the candidate-k histogram; never flows into results
 			candidateKMS.Observe(float64(time.Since(began).Microseconds()) / 1e3)
 		}
 		if err != nil {

@@ -253,11 +253,11 @@ func (pb *Pinball) Save(path string) error {
 	}
 	w := bufio.NewWriter(f)
 	if err := pb.Write(w); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one worth reporting
 		return err
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("pinball: flush %s: %w", path, err)
 	}
 	return f.Close()

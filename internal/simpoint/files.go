@@ -49,11 +49,11 @@ func (r *Result) SaveFiles(prefix string) error {
 		}
 		bw := bufio.NewWriter(file)
 		if err := f.write(bw); err != nil {
-			file.Close()
+			_ = file.Close() // the write error is the one worth reporting
 			return err
 		}
 		if err := bw.Flush(); err != nil {
-			file.Close()
+			_ = file.Close()
 			return fmt.Errorf("simpoint: flush: %w", err)
 		}
 		if err := file.Close(); err != nil {

@@ -257,11 +257,11 @@ func (s *Store) put(key Key, v interface{}) error {
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // the write error is the one worth reporting
 		return fmt.Errorf("store: write %s: %w", path, err)
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return fmt.Errorf("store: sync %s: %w", path, err)
 	}
 	if err := tmp.Close(); err != nil {
@@ -279,8 +279,8 @@ func (s *Store) put(key Key, v interface{}) error {
 // weakens durability, never correctness.
 func syncDir(dir string) {
 	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+		_ = d.Sync() // best effort by contract; see the function comment
+		_ = d.Close()
 	}
 }
 

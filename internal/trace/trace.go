@@ -84,7 +84,7 @@ func (t *Writer) Observe(b *isa.Block, _ int) {
 	t.prev = int64(b.ID)
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutVarint(buf[:], delta)
-	t.w.Write(buf[:n])
+	_, _ = t.w.Write(buf[:n])
 	t.crc = crc32.Update(t.crc, crc32.IEEETable, buf[:n])
 	t.blocks++
 	t.instrs += uint64(b.Len())
@@ -255,7 +255,7 @@ func Save(path string, exec *program.Executor, length uint64, benchmark string) 
 	}
 	n, err := Record(exec, length, f, benchmark)
 	if err != nil {
-		f.Close()
+		_ = f.Close() // the record error is the one worth reporting
 		return n, err
 	}
 	return n, f.Close()
