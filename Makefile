@@ -1,13 +1,15 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check vet lint fmtcheck build test race racesmoke bench benchsmoke cachesmoke
+.PHONY: check vet lint fmtcheck build test race racesmoke bench benchsmoke benchdiff benchrecord cachesmoke
 
 ## check: the pre-commit gate — gofmt, vet, the project's own static
 ## analysis (speclint), build, the full test suite, the determinism tests
 ## under -race, a single-iteration pass over every benchmark (including the
-## obs overhead guard), and a warm-cache smoke run of the persistent store.
-check: fmtcheck vet lint build test racesmoke benchsmoke cachesmoke
+## obs overhead guard), a warm-cache smoke run of the persistent store, and
+## the performance-regression gate against the committed BENCH_*.json
+## baseline (skipped on hosts without one).
+check: fmtcheck vet lint build test racesmoke benchsmoke cachesmoke benchdiff
 
 vet:
 	$(GO) vet ./...
@@ -35,8 +37,10 @@ race:
 ## the exact tests whose guarantees the parallel kernels could quietly
 ## break. Far faster than `make race`; the full sweep remains available.
 racesmoke:
-	$(GO) test -race -run 'TestRunIdenticalAcrossWorkerCounts|TestRunIdenticalAcrossRepeats|TestBestKIdenticalAcrossWorkerCounts|TestBestKWeightedIdenticalAcrossWorkerCounts' ./internal/kmeans
+	$(GO) test -race -run 'TestRunIdenticalAcrossWorkerCounts|TestRunIdenticalAcrossRepeats|TestBestKIdenticalAcrossWorkerCounts|TestBestKWeightedIdenticalAcrossWorkerCounts|TestBoundedMatchesPlain|TestBestKBoundedMatchesPlain' ./internal/kmeans
 	$(GO) test -race -run 'TestFiguresIdenticalAcrossWorkerCounts|TestResumeAfterCancelledRun|TestCorruptCacheEntriesDegradeToRecompute' ./internal/experiments
+	$(GO) test -race -run 'TestReplayerReusedMatchesFresh|TestReplaySuiteMatchesReplayAll|TestReplayAllParallelMatchesSequential' ./internal/pinball
+	$(GO) test -race -run 'TestForEachSharded' ./internal/sched
 
 ## bench: one testing.B benchmark per paper table/figure, single iteration.
 bench:
@@ -44,10 +48,23 @@ bench:
 
 ## benchsmoke: compile-and-run every benchmark once (no timing fidelity) —
 ## catches bit-rotted benchmarks and asserts BenchmarkObsOverhead's
-## disabled path still runs.
+## disabled path still runs. The benchmark sets live in internal/perf
+## (perf.Targets); cmd/specbench is the single driver.
 benchsmoke:
-	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/...
-	$(GO) test -run='^$$' -bench=BenchmarkFig8 -benchtime=1x .
+	$(GO) run ./cmd/specbench smoke
+
+## benchdiff: the performance-regression gate (DESIGN.md §10) — re-run the
+## recorded benchmark sets and compare against the committed
+## BENCH_<host-class>.json with noise-tolerant thresholds. Fails on
+## regression; passes trivially on hosts with no committed baseline.
+benchdiff:
+	$(GO) run ./cmd/specbench diff -skip-missing
+
+## benchrecord: refresh this host class's BENCH_*.json baseline. Run on an
+## otherwise idle machine and commit the result together with the change
+## that justified it.
+benchrecord:
+	$(GO) run ./cmd/specbench record
 
 ## cachesmoke: the persistent artifact store end to end — run the same
 ## experiment twice into a fresh cache dir; the second run must be served

@@ -7,6 +7,11 @@
 //
 //	pinplay log    -bench 505.mcf_r -dir out/ [-scale medium] [-warmup 16]
 //	pinplay replay -pinball out/505.mcf_r.region_03.pb [-scale medium]
+//	pinplay replay [-workers N] out/*.pb
+//
+// Replaying several pinballs at once — even from different benchmarks —
+// runs them as one flat sharded work list across the worker pool
+// (pinball.ReplaySuite), the paper's "executed in parallel to save time".
 package main
 
 import (
@@ -44,7 +49,7 @@ func run(ctx context.Context, args []string) error {
 	case "log":
 		return logPinballs(ctx, args[1:])
 	case "replay":
-		return replay(args[1:])
+		return replay(ctx, args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q (want log or replay)", args[0])
 	}
@@ -102,17 +107,25 @@ func logPinballs(ctx context.Context, args []string) error {
 	return nil
 }
 
-func replay(args []string) error {
+func replay(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
 	path := fs.String("pinball", "", "pinball file to replay")
 	scaleName := fs.String("scale", "medium", "workload scale the pinball was captured at")
+	workers := fs.Int("workers", 0, "replay workers for multi-pinball runs (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *path == "" {
-		return fmt.Errorf("missing -pinball")
+	paths := fs.Args()
+	if *path != "" {
+		paths = append([]string{*path}, paths...)
 	}
-	pb, err := pinball.Load(*path)
+	if len(paths) == 0 {
+		return fmt.Errorf("missing -pinball (or pinball file arguments)")
+	}
+	if len(paths) > 1 {
+		return replaySuite(ctx, paths, *scaleName, *workers)
+	}
+	pb, err := pinball.Load(paths[0])
 	if err != nil {
 		return err
 	}
@@ -144,7 +157,7 @@ func replay(args []string) error {
 		return err
 	}
 
-	fmt.Printf("pinball:      %s (%s, region %d, weight %.4f)\n", *path, pb.Kind, pb.Region, pb.Weight)
+	fmt.Printf("pinball:      %s (%s, region %d, weight %.4f)\n", paths[0], pb.Kind, pb.Region, pb.Weight)
 	if pb.HasWarmup {
 		fmt.Printf("warm-up:      %d instructions\n", pb.WarmupLen)
 	}
@@ -155,4 +168,99 @@ func replay(args []string) error {
 	l1d, l2, l3 := hier.MissRates()
 	fmt.Printf("allcache:     L1D %.2f%%  L2 %.2f%%  L3 %.2f%% miss\n", l1d*100, l2*100, l3*100)
 	return nil
+}
+
+// replaySuite replays several pinball files — possibly spanning benchmarks —
+// as one flat sharded work list, printing a per-pinball summary in input
+// order.
+func replaySuite(ctx context.Context, paths []string, scaleName string, workers int) error {
+	pbs := make([]*pinball.Pinball, len(paths))
+	for i, p := range paths {
+		pb, err := pinball.Load(p)
+		if err != nil {
+			return err
+		}
+		pbs[i] = pb
+	}
+
+	// Group by benchmark, preserving first-appearance order so output and
+	// program construction are deterministic.
+	type group struct {
+		bench string
+		idx   []int // indices into pbs/paths
+	}
+	var groups []group
+	byBench := map[string]int{}
+	for i, pb := range pbs {
+		g, ok := byBench[pb.Benchmark]
+		if !ok {
+			g = len(groups)
+			byBench[pb.Benchmark] = g
+			groups = append(groups, group{bench: pb.Benchmark})
+		}
+		groups[g].idx = append(groups[g].idx, i)
+	}
+
+	jobs := make([]pinball.SuiteJob, len(groups))
+	mixes := make([]*pintool.LdStMix, len(pbs))
+	for g, grp := range groups {
+		spec, err := workload.ByName(grp.bench)
+		if err != nil {
+			return err
+		}
+		sn := scaleName
+		if s := pbs[grp.idx[0]].Scale; s != "" {
+			sn = s
+		}
+		scale, err := workload.ScaleByName(sn)
+		if err != nil {
+			return err
+		}
+		prog, err := spec.Build(scale)
+		if err != nil {
+			return err
+		}
+		grpPbs := make([]*pinball.Pinball, len(grp.idx))
+		for j, i := range grp.idx {
+			grpPbs[j] = pbs[i]
+		}
+		idx := grp.idx
+		jobs[g] = pinball.SuiteJob{
+			Program:  prog,
+			Pinballs: grpPbs,
+			MakeTools: func(j int) []pin.Tool {
+				m := pintool.NewLdStMix()
+				mixes[idx[j]] = m
+				return []pin.Tool{m}
+			},
+		}
+	}
+
+	results := pinball.ReplaySuite(ctx, jobs, workers)
+	// Flatten back to input order for printing.
+	flat := make([]pinball.ReplayResult, len(pbs))
+	for g, grp := range groups {
+		for j, i := range grp.idx {
+			flat[i] = results[g][j]
+		}
+	}
+	var total uint64
+	var firstErr error
+	for i, res := range flat {
+		if res.Err != nil {
+			fmt.Printf("%-40s ERROR: %v\n", paths[i], res.Err)
+			if firstErr == nil {
+				firstErr = res.Err
+			}
+			continue
+		}
+		fr := mixes[i].Fractions()
+		fmt.Printf("%-40s %-12s region %2d  weight %.4f  %12d instrs  MEM_R %.1f%%\n",
+			paths[i], res.Pinball.Benchmark, res.Pinball.Region, res.Pinball.Weight,
+			res.Executed, fr[1]*100)
+		total += res.Executed
+	}
+	fmt.Printf("replayed %d pinballs across %d benchmarks: %d instructions\n",
+		len(pbs), len(groups), total)
+	return firstErr
 }

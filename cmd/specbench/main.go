@@ -1,0 +1,213 @@
+// Command specbench drives the repository's benchmarks and its performance
+// trajectory (DESIGN.md §10). The benchmark sets live in internal/perf
+// (perf.Targets) — the one list benchsmoke, record and diff all share.
+//
+// Usage:
+//
+//	specbench list                          # show the benchmark sets
+//	specbench smoke                         # run everything once (bit-rot gate)
+//	specbench record [-benchtime 2x] [-count 1] [-out BENCH_<host>.json]
+//	specbench diff   [-benchtime 2x] [-count 1] [-baseline <file>] [-skip-missing]
+//
+// record writes a schema-versioned BENCH_<host-class>.json snapshot of the
+// Record-marked sets; diff re-runs them and compares against the committed
+// snapshot with noise-tolerant thresholds, exiting non-zero on regression.
+// With -skip-missing (what `make benchdiff` uses), a host class without a
+// committed baseline passes trivially, so fresh clones and new machines are
+// not broken by a gate they have no history for.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"os/exec"
+
+	"specsampling/internal/perf"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "specbench:", err)
+		os.Exit(1)
+	}
+}
+
+// errRegression makes the regression exit path distinguishable from tool
+// failures without an os.Exit scattered mid-logic.
+var errRegression = fmt.Errorf("performance regression against committed baseline")
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: specbench <list|smoke|record|diff> [flags]")
+	}
+	switch args[0] {
+	case "list":
+		return list()
+	case "smoke":
+		return smoke()
+	case "record":
+		return record(args[1:])
+	case "diff":
+		return diff(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want list, smoke, record or diff)", args[0])
+	}
+}
+
+func list() error {
+	for _, t := range perf.Targets() {
+		kind := "smoke"
+		if t.Record {
+			kind = "record+smoke"
+		}
+		fmt.Printf("%-12s %-16s %-13s -bench '%s'\n", t.Name, t.Pkg, kind, t.Pattern)
+	}
+	fmt.Printf("\nhost class: %s (snapshot file %s)\n", perf.HostClass(), perf.Filename())
+	return nil
+}
+
+// goTestBench runs one benchmark set and returns its combined output.
+// Output is also streamed to w (pass io.Discard to keep it quiet).
+func goTestBench(t perf.Target, benchtime string, count int, w io.Writer) ([]byte, error) {
+	args := []string{"test", "-run", "^$", "-bench", t.Pattern,
+		"-benchtime", benchtime, "-benchmem"}
+	if count > 1 {
+		args = append(args, "-count", fmt.Sprint(count))
+	}
+	args = append(args, t.Pkg)
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = io.MultiWriter(&buf, w)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return buf.Bytes(), fmt.Errorf("benchmark set %q: %w", t.Name, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// smoke runs every set once — no timing fidelity, just "does every
+// benchmark still compile and complete".
+func smoke() error {
+	for _, t := range perf.Targets() {
+		fmt.Printf("== %s (%s -bench '%s')\n", t.Name, t.Pkg, t.Pattern)
+		if _, err := goTestBench(t, "1x", 1, os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// measure runs the Record-marked sets and returns the parsed snapshot.
+func measure(benchtime string, count int) (*perf.Snapshot, error) {
+	snap := perf.New()
+	for _, t := range perf.Targets() {
+		if !t.Record {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "specbench: running %s (%s -bench '%s', -benchtime %s)\n",
+			t.Name, t.Pkg, t.Pattern, benchtime)
+		out, err := goTestBench(t, benchtime, count, io.Discard)
+		if err != nil {
+			return nil, err
+		}
+		parsed, err := perf.ParseBench(bytes.NewReader(out))
+		if err != nil {
+			return nil, err
+		}
+		for name, m := range parsed {
+			snap.Benchmarks[name] = m
+		}
+	}
+	if len(snap.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark results parsed — did the patterns match anything?")
+	}
+	return snap, nil
+}
+
+func record(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
+	benchtime := fs.String("benchtime", "2x", "benchtime per benchmark (e.g. 2x, 100ms)")
+	count := fs.Int("count", 3, "repetitions per benchmark (fastest run wins)")
+	out := fs.String("out", perf.Filename(), "snapshot file to write")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	snap, err := measure(*benchtime, *count)
+	if err != nil {
+		return err
+	}
+	if err := snap.Save(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks, host class %s)\n", *out, len(snap.Benchmarks), snap.HostClass)
+	return nil
+}
+
+func diff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	benchtime := fs.String("benchtime", "2x", "benchtime per benchmark")
+	count := fs.Int("count", 3, "repetitions per benchmark (fastest run wins)")
+	baseline := fs.String("baseline", perf.Filename(), "committed snapshot to compare against")
+	skipMissing := fs.Bool("skip-missing", false, "exit 0 when no baseline exists for this host class")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base, err := perf.Load(*baseline)
+	if err != nil {
+		if os.IsNotExist(err) && *skipMissing {
+			fmt.Printf("benchdiff: no baseline %s for host class %s — skipping (record one with `specbench record`)\n",
+				*baseline, perf.HostClass())
+			return nil
+		}
+		return err
+	}
+	if base.HostClass != perf.HostClass() {
+		if *skipMissing {
+			fmt.Printf("benchdiff: baseline %s is for host class %s, this host is %s — skipping\n",
+				*baseline, base.HostClass, perf.HostClass())
+			return nil
+		}
+		return fmt.Errorf("baseline host class %s does not match this host (%s)", base.HostClass, perf.HostClass())
+	}
+
+	cur, err := measure(*benchtime, *count)
+	if err != nil {
+		return err
+	}
+	th := perf.DefaultThresholds()
+	deltas := perf.Compare(base, cur, th)
+	regs := perf.Regressions(deltas)
+
+	fmt.Printf("benchdiff vs %s (ns tolerance %+.0f%%, B/op %+.0f%%, allocs ±max(2, 2%%)):\n",
+		*baseline, th.NsFrac*100, th.BytesFrac*100)
+	for _, d := range deltas {
+		if d.Metric != "ns/op" && !d.Regression {
+			continue // keep the report focused: time always, memory only on failure
+		}
+		mark := "  "
+		if d.Regression {
+			mark = "✗ "
+		} else if d.Metric == "ns/op" && d.Frac < -0.10 {
+			mark = "✓ " // a real improvement worth seeing
+		}
+		fmt.Printf("%s%-28s %-10s %14.0f -> %14.0f  (%s)\n",
+			mark, d.Benchmark, d.Metric, d.Base, d.Cur, pct(d.Frac))
+	}
+	if len(regs) > 0 {
+		fmt.Printf("%d regression(s) beyond threshold\n", len(regs))
+		return errRegression
+	}
+	fmt.Println("no regressions beyond threshold")
+	return nil
+}
+
+func pct(f float64) string {
+	if math.IsInf(f, 1) {
+		return "new cost"
+	}
+	return fmt.Sprintf("%+.1f%%", f*100)
+}

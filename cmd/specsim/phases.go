@@ -11,6 +11,7 @@ import (
 	"specsampling/internal/bbv"
 	"specsampling/internal/core"
 	"specsampling/internal/obs"
+	"specsampling/internal/pin"
 	"specsampling/internal/pinball"
 	"specsampling/internal/store"
 	"specsampling/internal/textplot"
@@ -119,22 +120,30 @@ func phasesCmd(ctx context.Context, args []string) error {
 		spec.Name, scale.Name, len(an.Slices), an.Result.NumPoints())
 	fmt.Printf("timeline (execution left to right, letter = phase):\n%s\n\n", line)
 
-	// Per-point stats: weight + CPI of the representative region.
+	// Per-point stats: weight + CPI of the representative region. The
+	// regions are independent, so replay them through the sharded parallel
+	// path; the table is assembled in point order afterwards.
 	cfg := timing.ScaledConfig(timing.TableIIIConfig(), scale.CacheDivs)
-	t := textplot.NewTable("Phase", "Weight", "Slice", "CPI", "Share")
+	pbs := make([]*pinball.Pinball, len(an.Result.Points))
+	cores := make([]*timing.Core, len(an.Result.Points))
 	for i, pt := range an.Result.Points {
-		pb := pinball.NewRegional(an.Prog.Name, scale.Name, i, pt.Start, pt.Len, pt.Weight)
-		coreModel, err := timing.NewCore(cfg)
-		if err != nil {
+		pbs[i] = pinball.NewRegional(an.Prog.Name, scale.Name, i, pt.Start, pt.Len, pt.Weight)
+		if cores[i], err = timing.NewCore(cfg); err != nil {
 			return err
 		}
-		if _, err := pinball.Replay(an.Prog, pb, coreModel); err != nil {
-			return err
+	}
+	results := pinball.ReplayAll(ctx, an.Prog, pbs, *workers, func(i int) []pin.Tool {
+		return []pin.Tool{cores[i]}
+	})
+	t := textplot.NewTable("Phase", "Weight", "Slice", "CPI", "Share")
+	for i, pt := range an.Result.Points {
+		if results[i].Err != nil {
+			return results[i].Err
 		}
 		t.AddRow(string(alphabet[i%len(alphabet)]),
 			fmt.Sprintf("%.4f", pt.Weight),
 			fmt.Sprint(pt.SliceIndex),
-			fmt.Sprintf("%.3f", coreModel.CPI()),
+			fmt.Sprintf("%.3f", cores[i].CPI()),
 			textplot.Bar(pt.Weight, 1, 30))
 	}
 	fmt.Print(t.String())

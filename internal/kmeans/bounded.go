@@ -1,0 +1,191 @@
+package kmeans
+
+import (
+	"math"
+
+	"specsampling/internal/obs"
+)
+
+// The bounded assignment kernel: Hamerly-style triangle-inequality bounds
+// that skip the scan over all k centroids for points provably still closest
+// to their assigned centroid.
+//
+// Per point the kernel maintains lb[i], a lower bound on the distance (not
+// squared) from the point to its second-closest centroid. A full scan sets
+// lb[i] from the exact second-best distance; after every centroid update
+// the bound decays by the largest centroid movement (triangle inequality:
+// a centroid that moved by m cannot have come more than m closer). At the
+// next iteration the kernel recomputes only the exact distance to the
+// assigned centroid — the tightening pass, O(d) instead of O(k·d) — and
+// skips the scan whenever
+//
+//	√d(x, c_assigned) + margin < lb[i],
+//
+// which proves every other centroid is strictly farther.
+//
+// Bit-identical results. The skip decision reasons about true distances,
+// but the kernels compute floating-point approximations. margin is an
+// absolute slack in the distance domain chosen far above the worst-case
+// rounding error of the norm-expansion distance (≲ 2·‖x‖max·√((d+3)·ε),
+// from the cancellation bound of ‖x‖²−2x·c+‖c‖² followed by √): every
+// subtraction that could make a bound optimistic widens it by margin
+// instead. Whenever the guarded inequality holds, the plain scan provably
+// selects the same centroid AND computes the same minD bits (the distance
+// to the assigned centroid is evaluated with the exact same expression),
+// and ties — where the plain scan's lowest-index preference matters — can
+// never be skipped because a tie forces lb ≤ √d(x, c_assigned) + margin.
+// When the inequality fails, the kernel falls back to the plain scan loop
+// verbatim. Either way assignments, minD, and therefore centroid updates,
+// WCSS and convergence are bit-identical to the plain kernel for every
+// worker count — pinned by the TestBoundedMatchesPlain* determinism tests.
+
+// Bounded-kernel metrics: how many point-iterations the bounds skipped vs
+// scanned (always-on atomics, added once per chunk).
+var (
+	boundsSkipCounter = obs.GetCounter("kmeans.bounds_skips")
+	boundsScanCounter = obs.GetCounter("kmeans.bounds_scans")
+)
+
+// boundsMargin is the floating-point safety margin of the bounded kernel
+// for this point set, in the (non-squared) distance domain. The worst-case
+// rounding error of one norm-expansion distance is ≲ 2·maxSnorm·√((d+3)·ε);
+// the factor 64 covers the handful of additional roundings accumulated by
+// bound maintenance with orders of magnitude to spare, while staying far
+// below any distance gap the bounds could usefully exploit.
+func (m *matrix) boundsMargin() float64 {
+	const eps = 0x1p-52
+	return 64 * m.maxSnorm * math.Sqrt(float64(m.d+4)*eps)
+}
+
+// scanPointFull runs the plain pruned scan for point i — the exact loop of
+// assignPoints, so best and bestD are bit-identical to the plain kernel —
+// while additionally deriving lb, a margin-deflated lower bound on the
+// distance to the second-closest centroid. Computed distances contribute
+// their exact second-best; centroids pruned by the norm bound contribute
+// |‖x‖−‖c‖| ≤ d(x, c).
+func scanPointFull(m *matrix, sc *scratch, i, k int, margin float64) (best int, bestD, lb float64) {
+	d := m.d
+	px := m.row(i)
+	pn, ps := m.norm[i], m.snorm[i]
+	best, bestD = 0, math.MaxFloat64
+	second := math.MaxFloat64
+	prunedMin := math.MaxFloat64
+	for c := 0; c < k; c++ {
+		if lbc := ps - sc.csqrt[c]; lbc*lbc >= bestD {
+			if lbc < 0 {
+				lbc = -lbc
+			}
+			if lbc < prunedMin {
+				prunedMin = lbc
+			}
+			continue
+		}
+		row := sc.cents[c*d : (c+1)*d]
+		var dot float64
+		for j, x := range px {
+			dot += x * row[j]
+		}
+		if dist := pn - 2*dot + sc.cnorm[c]; dist < bestD {
+			second = bestD
+			best, bestD = c, dist
+		} else if dist < second {
+			second = dist
+		}
+	}
+	if bestD < 0 {
+		bestD = 0 // the expansion can go slightly negative at zero distance
+	}
+	lb = math.Sqrt(second)
+	if prunedMin < lb {
+		lb = prunedMin
+	}
+	return best, bestD, lb - margin
+}
+
+// assignPointsFull is the bounded kernel's full-scan pass: plain-identical
+// assignment plus initial lower bounds. It runs on the first Lloyd
+// iteration, when no bounds exist yet.
+func assignPointsFull(m *matrix, sc *scratch, k, workers int, margin float64) {
+	if workers > 1 && m.n*k*m.d < minParallelOps {
+		workers = 1
+	}
+	parallelChunks(workers, m.n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			best, bestD, lb := scanPointFull(m, sc, i, k, margin)
+			sc.assign[i] = best
+			sc.minD[i] = bestD
+			sc.lb[i] = lb
+		}
+	})
+	boundsScanCounter.Add(int64(m.n))
+}
+
+// assignPointsBounded is the bounded kernel's steady-state pass: per point
+// it recomputes the exact distance to the previously assigned centroid
+// (with the same expression as the plain scan, so minD stays bit-exact) and
+// skips the scan over the other centroids when the lower bound proves they
+// cannot win. Points whose bound fails fall back to the full scan, which
+// also refreshes their lb.
+func assignPointsBounded(m *matrix, sc *scratch, k, workers int, margin float64) {
+	d := m.d
+	if workers > 1 && m.n*k*d < minParallelOps {
+		workers = 1
+	}
+	parallelChunks(workers, m.n, func(lo, hi int) {
+		var cSkips, cScans int64
+		for i := lo; i < hi; i++ {
+			a := sc.assign[i]
+			px := m.row(i)
+			row := sc.cents[a*d : (a+1)*d]
+			var dot float64
+			for j, x := range px {
+				dot += x * row[j]
+			}
+			da := m.norm[i] - 2*dot + sc.cnorm[a]
+			if da < 0 {
+				da = 0
+			}
+			if math.Sqrt(da)+margin < sc.lb[i] {
+				// No other centroid can be as close: the plain scan would
+				// recompute this exact distance for a and find every rival
+				// strictly farther. Keep the assignment, refresh minD.
+				sc.minD[i] = da
+				cSkips++
+				continue
+			}
+			best, bestD, lb := scanPointFull(m, sc, i, k, margin)
+			sc.assign[i] = best
+			sc.minD[i] = bestD
+			sc.lb[i] = lb
+			cScans++
+		}
+		// One atomic add per chunk, not per point.
+		boundsSkipCounter.Add(cSkips)
+		boundsScanCounter.Add(cScans)
+	})
+}
+
+// decayBounds widens every point's lower bound by the largest centroid
+// movement of the last update step (plus the safety margin): if the
+// farthest-moving centroid travelled maxMove, no centroid can have come
+// more than maxMove closer to any point.
+func decayBounds(m *matrix, sc *scratch, k int, margin float64) {
+	d := m.d
+	maxMove := 0.0
+	for c := 0; c < k; c++ {
+		oldRow := sc.oldCents[c*d : (c+1)*d]
+		newRow := sc.cents[c*d : (c+1)*d]
+		var s float64
+		for j, x := range newRow {
+			dd := x - oldRow[j]
+			s += dd * dd
+		}
+		if mv := math.Sqrt(s); mv > maxMove {
+			maxMove = mv
+		}
+	}
+	dec := maxMove + margin
+	for i := range sc.lb[:m.n] {
+		sc.lb[i] -= dec
+	}
+}

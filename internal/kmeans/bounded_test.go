@@ -1,0 +1,201 @@
+package kmeans
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"specsampling/internal/rng"
+)
+
+// The bounded (triangle-inequality) kernel must be invisible in the
+// results: for every input, every seed and every worker count it must
+// produce the same bits as the plain kernel it replaces. These tests sweep
+// shapes from well-separated Gaussians to degenerate duplicate-heavy sets —
+// the cases where a sloppy bound would silently flip a tie.
+
+func TestBoundedMatchesPlainAcrossShapes(t *testing.T) {
+	cases := []struct {
+		name   string
+		points [][]float64
+		k      int
+	}{
+		{"separated", mustPoints(gaussianClusters(6, 60, 12, 0.3, 3)), 6},
+		{"overlapping", mustPoints(gaussianClusters(5, 80, 8, 2.5, 5)), 5},
+		{"more-k-than-structure", mustPoints(gaussianClusters(3, 40, 6, 0.4, 9)), 11},
+		{"single-cluster", mustPoints(gaussianClusters(1, 200, 10, 1.0, 13)), 7},
+		{"tiny", mustPoints(gaussianClusters(2, 3, 4, 0.2, 17)), 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, seed := range []uint64{1, 42, 99, 12345} {
+				cfg := Config{Restarts: 3, MaxIter: 40, Seed: seed}
+				plain, err := RunPlain(tc.points, tc.k, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bounded, err := Run(tc.points, tc.k, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireIdentical(t, plain, bounded, "seed="+strconv.FormatUint(seed, 10))
+			}
+		})
+	}
+}
+
+// mustPoints drops gaussianClusters' truth labels.
+func mustPoints(points [][]float64, _ []int) [][]float64 { return points }
+
+// TestBoundedMatchesPlainDegenerate covers the tie-heavy inputs where the
+// plain scan's lowest-index preference is observable: exact duplicates,
+// coincident centroids, k above the distinct-point count, and zero vectors.
+func TestBoundedMatchesPlainDegenerate(t *testing.T) {
+	dup := make([][]float64, 64)
+	for i := range dup {
+		// Only 4 distinct points, heavily duplicated, plus exact zeros.
+		switch i % 4 {
+		case 0:
+			dup[i] = []float64{0, 0, 0}
+		case 1:
+			dup[i] = []float64{1, 0, 0}
+		case 2:
+			dup[i] = []float64{0, 1, 0}
+		default:
+			dup[i] = []float64{1, 0, 0} // duplicate of case 1
+		}
+	}
+	mirror := make([][]float64, 40)
+	for i := range mirror {
+		// Symmetric pairs equidistant from the origin: distance ties
+		// between mirrored centroids are exact in floating point.
+		v := float64(i/2 + 1)
+		if i%2 == 0 {
+			mirror[i] = []float64{v, 1}
+		} else {
+			mirror[i] = []float64{-v, 1}
+		}
+	}
+	cases := []struct {
+		name   string
+		points [][]float64
+		k      int
+	}{
+		{"duplicates", dup, 8},
+		{"all-identical", [][]float64{{2, 2}, {2, 2}, {2, 2}, {2, 2}, {2, 2}}, 3},
+		{"mirrored-ties", mirror, 6},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, seed := range []uint64{0, 7, 1001} {
+				cfg := Config{Restarts: 2, MaxIter: 30, Seed: seed}
+				plain, err := RunPlain(tc.points, tc.k, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bounded, err := Run(tc.points, tc.k, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireIdentical(t, plain, bounded, tc.name+"/seed="+strconv.FormatUint(seed, 10))
+			}
+		})
+	}
+}
+
+// TestBoundedMatchesPlainAcrossWorkerCounts pins the full cross-product:
+// bounded results must equal the plain serial reference for every worker
+// count, including through the subsampling path.
+func TestBoundedMatchesPlainAcrossWorkerCounts(t *testing.T) {
+	points, _ := gaussianClusters(8, 128, 8, 0.4, 7)
+	ref := Config{Restarts: 3, MaxIter: 40, Seed: 99, SampleSize: 512, Workers: 1}
+	plain, err := RunPlain(points, 8, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		cfg := ref
+		cfg.Workers = workers
+		bounded, err := Run(points, 8, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, plain, bounded, "workers="+strconv.Itoa(workers))
+	}
+}
+
+// TestBestKBoundedMatchesPlain pins the candidate sweep: the shared-matrix,
+// scratch-pooled bounded sweep must reproduce the per-candidate plain sweep
+// bit for bit — results, BIC scores and the chosen k.
+func TestBestKBoundedMatchesPlain(t *testing.T) {
+	points, _ := gaussianClusters(4, 80, 6, 0.3, 13)
+	for _, workers := range []int{1, 4} {
+		cfg := Config{Restarts: 3, MaxIter: 40, Seed: 21, SampleSize: 4096, Workers: workers}
+		plainRes, plainBIC, err := BestKPlain(points, 12, 0.9, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, bic, err := BestK(points, 12, 0.9, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, plainRes, res, "bestk/workers="+strconv.Itoa(workers))
+		if len(bic) != len(plainBIC) {
+			t.Fatalf("BIC map sizes differ: %d != %d", len(bic), len(plainBIC))
+		}
+		for k, v := range plainBIC {
+			if math.Float64bits(bic[k]) != math.Float64bits(v) {
+				t.Fatalf("BIC[%d] %v != %v", k, bic[k], v)
+			}
+		}
+	}
+}
+
+// TestBoundedSkipsWork asserts the bounds actually fire: on a separated
+// point set the steady-state iterations must skip a large share of full
+// scans — otherwise the kernel is correct but pointless.
+func TestBoundedSkipsWork(t *testing.T) {
+	points, _ := gaussianClusters(8, 200, 16, 0.3, 23)
+	skip0, scan0 := boundsSkipCounter.Value(), boundsScanCounter.Value()
+	if _, err := Run(points, 8, Config{Restarts: 1, MaxIter: 40, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	skips := boundsSkipCounter.Value() - skip0
+	scans := boundsScanCounter.Value() - scan0
+	if skips == 0 {
+		t.Fatalf("bounded kernel never skipped a scan (scans=%d)", scans)
+	}
+	if skips < scans {
+		t.Errorf("bounds too weak: %d skips vs %d full scans on separated clusters", skips, scans)
+	}
+}
+
+// TestBoundedMatchesPlainRandomized is a randomized cross-check over many
+// small instances — cheap fuzzing for the skip decision.
+func TestBoundedMatchesPlainRandomized(t *testing.T) {
+	r := rng.New(0xb0b)
+	for trial := 0; trial < 40; trial++ {
+		n := 20 + r.Intn(60)
+		d := 1 + r.Intn(6)
+		k := 1 + r.Intn(8)
+		points := make([][]float64, n)
+		for i := range points {
+			p := make([]float64, d)
+			for j := range p {
+				// Quantized coordinates provoke exact distance ties.
+				p[j] = float64(r.Intn(5))
+			}
+			points[i] = p
+		}
+		cfg := Config{Restarts: 2, MaxIter: 25, Seed: uint64(trial)}
+		plain, err := RunPlain(points, k, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bounded, err := Run(points, k, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, plain, bounded, "trial="+strconv.Itoa(trial))
+	}
+}

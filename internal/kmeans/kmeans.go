@@ -6,7 +6,12 @@
 // The kernels operate on a flat row-major copy of the point set with
 // precomputed squared norms, reuse scratch buffers across Lloyd iterations
 // and restarts, and parallelise both the assignment step and the
-// independent candidate-k runs of BestK. Results are deterministic in the
+// independent candidate-k runs of BestK. On top of the norm-expansion
+// pruning, Lloyd iterations maintain Hamerly-style triangle-inequality
+// lower bounds (see bounded.go) that skip the full centroid scan for
+// points provably still closest to their assigned centroid — with a
+// conservative floating-point margin sized so the bounded path is
+// bit-identical to the plain scan. Results are deterministic in the
 // configuration seed and, by construction, independent of Workers: every
 // per-point decision is computed from the same inputs regardless of how
 // points are partitioned across goroutines, and all floating-point
@@ -99,11 +104,14 @@ type Result struct {
 // norm[i] and snorm[i] hold ‖xᵢ‖² and ‖xᵢ‖, precomputed once so the
 // assignment kernel can expand ‖x−c‖² = ‖x‖² − 2·x·c + ‖c‖² and prune
 // candidate centroids with the norm lower bound (‖x‖−‖c‖)² ≤ ‖x−c‖².
+// maxSnorm is the largest point norm — the scale the bounded kernel's
+// floating-point safety margin derives from.
 type matrix struct {
-	data  []float64
-	norm  []float64
-	snorm []float64
-	n, d  int
+	data     []float64
+	norm     []float64
+	snorm    []float64
+	maxSnorm float64
+	n, d     int
 }
 
 func (m *matrix) row(i int) []float64 { return m.data[i*m.d : (i+1)*m.d] }
@@ -125,7 +133,11 @@ func flatten(points [][]float64) *matrix {
 			s += x * x
 		}
 		m.norm[i] = s
-		m.snorm[i] = math.Sqrt(s)
+		sq := math.Sqrt(s)
+		m.snorm[i] = sq
+		if sq > m.maxSnorm {
+			m.maxSnorm = sq
+		}
 	}
 	return m
 }
@@ -143,36 +155,68 @@ func (m *matrix) gather(idx []int) *matrix {
 		copy(out.data[i*m.d:(i+1)*m.d], m.row(j))
 		out.norm[i] = m.norm[j]
 		out.snorm[i] = m.snorm[j]
+		if out.snorm[i] > out.maxSnorm {
+			out.maxSnorm = out.snorm[i]
+		}
 	}
 	return out
 }
 
 // scratch holds every buffer one Lloyd run needs; it is reused across
-// iterations and restarts so the inner loop performs no allocation.
+// iterations, restarts and (through ensure) the candidate runs of a BestK
+// sweep, so the inner loop performs no allocation.
 type scratch struct {
-	cents  []float64 // k*d flat centroids
-	sums   []float64 // k*d accumulation buffer for the update step
-	cnorm  []float64 // k: ‖c‖² per centroid
-	csqrt  []float64 // k: ‖c‖ per centroid (pruning bound)
-	sizes  []int     // k
-	assign []int     // n: current assignment
-	prev   []int     // n: previous iteration's assignment
-	minD   []float64 // n: distance to the assigned centroid
-	d2     []float64 // n: k-means++ D² weights
+	cents    []float64 // k*d flat centroids
+	oldCents []float64 // k*d centroids before the last update (movement)
+	sums     []float64 // k*d accumulation buffer for the update step
+	cnorm    []float64 // k: ‖c‖² per centroid
+	csqrt    []float64 // k: ‖c‖ per centroid (pruning bound)
+	sizes    []int     // k
+	assign   []int     // n: current assignment
+	prev     []int     // n: previous iteration's assignment
+	minD     []float64 // n: distance to the assigned centroid
+	lb       []float64 // n: lower bound on the second-closest distance
+	d2       []float64 // n: k-means++ D² weights
 }
 
 func newScratch(n, k, d int) *scratch {
-	return &scratch{
-		cents:  make([]float64, k*d),
-		sums:   make([]float64, k*d),
-		cnorm:  make([]float64, k),
-		csqrt:  make([]float64, k),
-		sizes:  make([]int, k),
-		assign: make([]int, n),
-		prev:   make([]int, n),
-		minD:   make([]float64, n),
-		d2:     make([]float64, n),
+	sc := &scratch{}
+	sc.ensure(n, k, d)
+	return sc
+}
+
+// ensure (re)sizes every buffer for an (n, k, d) run, growing allocations
+// only when a previous use was smaller. No buffer carries state between
+// runs: each is fully written before it is read (cents by seeding, sums and
+// sizes by zeroing loops, assign by the -1 reset, minD/lb by the assignment
+// pass, d2 by seeding), so reuse across BestK candidates is safe.
+func (sc *scratch) ensure(n, k, d int) {
+	sc.cents = growFloat(sc.cents, k*d)
+	sc.oldCents = growFloat(sc.oldCents, k*d)
+	sc.sums = growFloat(sc.sums, k*d)
+	sc.cnorm = growFloat(sc.cnorm, k)
+	sc.csqrt = growFloat(sc.csqrt, k)
+	if cap(sc.sizes) < k {
+		sc.sizes = make([]int, k)
 	}
+	sc.sizes = sc.sizes[:k]
+	if cap(sc.assign) < n {
+		sc.assign = make([]int, n)
+		sc.prev = make([]int, n)
+	}
+	sc.assign, sc.prev = sc.assign[:n], sc.prev[:n]
+	sc.minD = growFloat(sc.minD, n)
+	sc.lb = growFloat(sc.lb, n)
+	sc.d2 = growFloat(sc.d2, n)
+}
+
+// growFloat reslices b to length n, reallocating only if the capacity is
+// insufficient.
+func growFloat(b []float64, n int) []float64 {
+	if cap(b) < n {
+		return make([]float64, n)
+	}
+	return b[:n]
 }
 
 // minParallelOps gates the parallel assignment path: below this many
@@ -259,26 +303,43 @@ func refreshCentroidNorms(sc *scratch, k, d int) {
 // Run clusters points into at most k groups. Points must be non-empty and
 // share a dimensionality. k is clamped to the point count.
 func Run(points [][]float64, k int, cfg Config) (*Result, error) {
+	if err := validatePoints(points, k); err != nil {
+		return nil, err
+	}
+	return runFlat(flatten(points), k, cfg, nil, true)
+}
+
+// validatePoints checks the shared preconditions of Run and BestK.
+func validatePoints(points [][]float64, k int) error {
 	if len(points) == 0 {
-		return nil, fmt.Errorf("kmeans: no points")
+		return fmt.Errorf("kmeans: no points")
 	}
 	if k <= 0 {
-		return nil, fmt.Errorf("kmeans: k = %d", k)
+		return fmt.Errorf("kmeans: k = %d", k)
 	}
 	dim := len(points[0])
 	for i, p := range points {
 		if len(p) != dim {
-			return nil, fmt.Errorf("kmeans: point %d has dim %d, want %d", i, len(p), dim)
+			return fmt.Errorf("kmeans: point %d has dim %d, want %d", i, len(p), dim)
 		}
 	}
-	if k > len(points) {
-		k = len(points)
+	return nil
+}
+
+// runFlat is the clustering engine behind Run and the BestK sweep: it
+// operates on an already-flattened matrix so a candidate sweep flattens the
+// point set once, and reuses sc (grown as needed) so back-to-back runs do
+// not reallocate the Lloyd buffers. sc may be nil. bounded selects the
+// triangle-inequality kernel (the default); the plain kernel is kept as the
+// bit-identical reference the determinism tests compare against.
+func runFlat(m *matrix, k int, cfg Config, sc *scratch, bounded bool) (*Result, error) {
+	if k > m.n {
+		k = m.n
 	}
 	cfg = cfg.Normalize()
 	workers := sched.Workers(cfg.Workers)
 	runCounter.Add(1)
 
-	m := flatten(points)
 	train := m
 	sampled := false
 	if cfg.SampleSize > 0 && cfg.SampleSize < m.n {
@@ -290,11 +351,15 @@ func Run(points [][]float64, k int, cfg Config) (*Result, error) {
 	}
 
 	r := rng.New(cfg.Seed ^ 0x6b6d)
-	sc := newScratch(train.n, k, train.d)
+	if sc == nil {
+		sc = newScratch(train.n, k, train.d)
+	} else {
+		sc.ensure(train.n, k, train.d)
+	}
 	var best *Result
 	for restart := 0; restart < cfg.Restarts; restart++ {
 		restartCounter.Add(1)
-		wcss := lloyd(train, k, cfg.MaxIter, workers, &r, sc)
+		wcss := lloyd(train, k, cfg.MaxIter, workers, &r, sc, bounded)
 		if best == nil || wcss < best.WCSS {
 			best = materialize(train, sc, k, wcss)
 		}
@@ -329,16 +394,34 @@ func sampleIndices(total, n int, seed uint64) []int {
 // the flat matrix, leaving the final assignment, sizes and centroids in sc
 // and returning the WCSS. The final iteration's assignment pass doubles as
 // the result pass — no extra full-distance sweep is needed afterwards.
-func lloyd(m *matrix, k, maxIter, workers int, r *rng.RNG, sc *scratch) float64 {
+//
+// With bounded set, iterations past the first use the triangle-inequality
+// kernel (bounded.go): per point, only the exact distance to the currently
+// assigned centroid is recomputed, and the scan over the other k−1
+// centroids is skipped whenever the maintained lower bound proves no other
+// centroid can win. The safety margin makes the skip decision immune to
+// floating-point slop, so both kernels produce bit-identical assignments,
+// centroids and WCSS — pinned by TestBoundedMatchesPlain*.
+func lloyd(m *matrix, k, maxIter, workers int, r *rng.RNG, sc *scratch, bounded bool) float64 {
 	seedPlusPlus(m, k, r, sc)
 	for i := range sc.assign {
 		sc.assign[i] = -1
+	}
+	margin := 0.0
+	if bounded {
+		margin = m.boundsMargin()
 	}
 	var wcss float64
 	for iter := 0; ; iter++ {
 		refreshCentroidNorms(sc, k, m.d)
 		copy(sc.prev, sc.assign)
-		assignPoints(m, sc, k, workers)
+		if !bounded {
+			assignPoints(m, sc, k, workers)
+		} else if iter == 0 {
+			assignPointsFull(m, sc, k, workers, margin)
+		} else {
+			assignPointsBounded(m, sc, k, workers, margin)
+		}
 
 		// Serial reduction in index order: sizes, WCSS and the convergence
 		// flag are identical for every worker count.
@@ -361,7 +444,13 @@ func lloyd(m *matrix, k, maxIter, workers int, r *rng.RNG, sc *scratch) float64 
 			iterCounter.Add(int64(iter + 1))
 			return wcss
 		}
+		if bounded {
+			copy(sc.oldCents[:k*m.d], sc.cents[:k*m.d])
+		}
 		updateCentroids(m, sc, k)
+		if bounded {
+			decayBounds(m, sc, k, margin)
+		}
 	}
 }
 
@@ -582,8 +671,31 @@ func BIC(points [][]float64, res *Result) float64 {
 // and k) and execute in parallel across cfg.Workers goroutines; the
 // selection scan afterwards walks candidates in ascending order, so the
 // choice is identical to a serial sweep.
+//
+// The sweep flattens the point set once and shares the matrix (with its
+// precomputed norms) across every candidate run; Lloyd scratch buffers are
+// pooled so concurrent candidates allocate at most one scratch per worker.
+// Centre buffers are thereby reused across k — results stay bit-identical
+// to per-candidate Run calls because every buffer is fully rewritten before
+// use and each candidate still derives its own seed.
 func BestK(points [][]float64, maxK int, threshold float64, cfg Config) (*Result, map[int]float64, error) {
-	return bestKWith(points, maxK, threshold, cfg, Run)
+	if maxK <= 0 {
+		return nil, nil, fmt.Errorf("kmeans: maxK = %d", maxK)
+	}
+	if err := validatePoints(points, 1); err != nil {
+		return nil, nil, err
+	}
+	m := flatten(points)
+	var pool sync.Pool
+	run := func(_ [][]float64, k int, sub Config) (*Result, error) {
+		sc, _ := pool.Get().(*scratch)
+		if sc == nil {
+			sc = &scratch{}
+		}
+		defer pool.Put(sc)
+		return runFlat(m, k, sub, sc, true)
+	}
+	return bestKWith(points, maxK, threshold, cfg, run)
 }
 
 // bestKWith is the shared candidate sweep behind BestK and BestKWeighted.

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// TestDisabledFastPathAllocs is the satellite allocation-regression test
+// for the tracing-off fast path: instrumentation that sits inside kernels
+// and replay loops (Start/End spans without attributes, counter adds,
+// histogram observes, Enabled checks) must not allocate when no tracer is
+// installed. Attribute-carrying Start calls pay one slice allocation at the
+// call site and therefore belong outside hot loops or behind Enabled().
+func TestDisabledFastPathAllocs(t *testing.T) {
+	if Enabled() {
+		t.Skip("a tracer is active; the disabled fast path is not in effect")
+	}
+	ctx := context.Background()
+	c := GetCounter("alloctest.counter")
+	h := GetHistogram("alloctest.hist")
+
+	if got := testing.AllocsPerRun(100, func() {
+		ctx2, span := Start(ctx, "alloctest.span")
+		span.Annotate()
+		span.End()
+		_ = ctx2
+	}); got != 0 {
+		t.Errorf("disabled Start/End allocates %.1f objects per span, want 0", got)
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		c.Add(1)
+	}); got != 0 {
+		t.Errorf("Counter.Add allocates %.1f objects, want 0", got)
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		h.Observe(1.5)
+	}); got != 0 {
+		t.Errorf("Histogram.Observe allocates %.1f objects, want 0", got)
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		_ = Enabled()
+	}); got != 0 {
+		t.Errorf("Enabled allocates %.1f objects, want 0", got)
+	}
+}

@@ -1,0 +1,281 @@
+// Package perf is the repository's performance-trajectory ledger: a
+// schema-versioned snapshot format for `go test -bench` results, a parser
+// for the benchmark output, and a noise-tolerant comparator — speclint-style
+// enforcement, but for speed. cmd/specbench records snapshots into
+// BENCH_<host-class>.json files at the repository root and diffs fresh runs
+// against the committed baseline; `make benchdiff` fails on regression.
+//
+// Snapshots are keyed by host class (GOOS, GOARCH, CPU count), so a
+// baseline recorded on one machine is never compared against numbers from a
+// different one — on a host with no committed baseline the diff is a no-op
+// by design (the Makefile's skip-if-no-baseline guard). See DESIGN.md §10
+// for the workflow, including how to refresh a baseline intentionally.
+package perf
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SchemaVersion identifies the snapshot layout. Bump it when the JSON shape
+// changes; Load rejects snapshots from other versions so a stale baseline
+// fails loudly instead of diffing garbage.
+const SchemaVersion = 1
+
+// Metrics are one benchmark's recorded costs.
+type Metrics struct {
+	// NsPerOp is wall time per operation in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp is heap bytes allocated per operation (from -benchmem).
+	BytesPerOp int64 `json:"bytes_per_op"`
+	// AllocsPerOp is heap allocations per operation (from -benchmem).
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// Iters is the b.N the numbers were measured over.
+	Iters int64 `json:"iters"`
+}
+
+// Snapshot is one recorded performance trajectory point.
+type Snapshot struct {
+	// Schema is the snapshot layout version (SchemaVersion at write time).
+	Schema int `json:"schema"`
+	// HostClass names the machine class the numbers belong to.
+	HostClass string `json:"host_class"`
+	// GoVersion is the toolchain that produced the numbers.
+	GoVersion string `json:"go_version"`
+	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to its
+	// recorded metrics.
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+}
+
+// HostClass identifies the machine class snapshots are keyed by. Two hosts
+// with the same OS, architecture and logical CPU count share a baseline;
+// anything else is too different to compare nanoseconds across.
+func HostClass() string {
+	return fmt.Sprintf("%s_%s_cpu%d", runtime.GOOS, runtime.GOARCH, runtime.NumCPU())
+}
+
+// Filename is the committed snapshot file for this host class.
+func Filename() string { return "BENCH_" + HostClass() + ".json" }
+
+// New returns an empty snapshot stamped for this host and toolchain.
+func New() *Snapshot {
+	return &Snapshot{
+		Schema:     SchemaVersion,
+		HostClass:  HostClass(),
+		GoVersion:  runtime.Version(),
+		Benchmarks: map[string]Metrics{},
+	}
+}
+
+// Load reads and validates a snapshot file.
+func Load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	if s.Schema != SchemaVersion {
+		return nil, fmt.Errorf("perf: %s: snapshot schema %d, this tool speaks %d (re-record the baseline)",
+			path, s.Schema, SchemaVersion)
+	}
+	if s.Benchmarks == nil {
+		return nil, fmt.Errorf("perf: %s: no benchmarks recorded", path)
+	}
+	return &s, nil
+}
+
+// Save writes the snapshot as stable, human-diffable JSON (sorted keys,
+// trailing newline).
+func (s *Snapshot) Save(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ParseBench extracts per-benchmark metrics from `go test -bench -benchmem`
+// output. Benchmark names have their trailing -GOMAXPROCS suffix stripped
+// (the host class already pins the CPU count). When the output contains
+// several lines for one benchmark (e.g. -count > 1), the fastest run wins:
+// minimum ns/op is the standard noise-robust reduction, and its alloc
+// numbers ride along.
+func ParseBench(r io.Reader) (map[string]Metrics, error) {
+	out := map[string]Metrics{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		name, m, ok := parseBenchLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if prev, seen := out[name]; !seen || m.NsPerOp < prev.NsPerOp {
+			out[name] = m
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseBenchLine parses one `BenchmarkX-8   10   123 ns/op   4 B/op   1
+// allocs/op` line. Lines without the Benchmark prefix or a ns/op field are
+// not benchmark results.
+func parseBenchLine(line string) (string, Metrics, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", Metrics{}, false
+	}
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return "", Metrics{}, false
+	}
+	name := stripProcs(f[0])
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return "", Metrics{}, false
+	}
+	m := Metrics{Iters: iters}
+	ok := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			continue
+		}
+		switch f[i+1] {
+		case "ns/op":
+			m.NsPerOp = v
+			ok = true
+		case "B/op":
+			m.BytesPerOp = int64(v)
+		case "allocs/op":
+			m.AllocsPerOp = int64(v)
+		}
+	}
+	return name, m, ok
+}
+
+// stripProcs removes the trailing -<GOMAXPROCS> that `go test` appends to
+// benchmark names.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Thresholds are the noise tolerances of Compare. Time is noisy (schedulers,
+// thermal state, cache pressure from concurrent work) and gets a generous
+// fractional band; allocation counts are nearly deterministic — only
+// goroutine scheduling around sync.Pool and map growth moves them by a
+// handful on the macro benchmarks — so allocs/op gets a tight band that
+// still catches the real failure mode (a new allocation inside a hot loop
+// multiplies allocs/op, far beyond any band).
+type Thresholds struct {
+	// NsFrac is the allowed fractional ns/op increase (0.40 = +40 %).
+	NsFrac float64
+	// BytesFrac is the allowed fractional bytes/op increase.
+	BytesFrac float64
+	// AllocFrac is the allowed fractional allocs/op increase.
+	AllocFrac float64
+	// AllocSlack is the allowed absolute allocs/op increase; the effective
+	// band is max(AllocSlack, base*AllocFrac).
+	AllocSlack int64
+}
+
+// allocBand is the allowed absolute allocs/op increase for a baseline value.
+func (th Thresholds) allocBand(base int64) int64 {
+	if b := int64(float64(base) * th.AllocFrac); b > th.AllocSlack {
+		return b
+	}
+	return th.AllocSlack
+}
+
+// DefaultThresholds is the `make benchdiff` gate, calibrated for
+// fastest-of-N runs on an otherwise busy machine.
+func DefaultThresholds() Thresholds {
+	return Thresholds{NsFrac: 0.40, BytesFrac: 0.15, AllocFrac: 0.02, AllocSlack: 2}
+}
+
+// Delta is one benchmark-metric comparison between a baseline and a fresh
+// run.
+type Delta struct {
+	// Benchmark is the benchmark name.
+	Benchmark string
+	// Metric is "ns/op", "B/op" or "allocs/op".
+	Metric string
+	// Base and Cur are the baseline and fresh values.
+	Base, Cur float64
+	// Frac is the fractional change, (Cur-Base)/Base (0 when Base is 0 and
+	// Cur is 0; +Inf when only Base is 0).
+	Frac float64
+	// Regression reports whether the change exceeds the threshold.
+	Regression bool
+}
+
+// Compare diffs a fresh run against a baseline, returning one Delta per
+// (benchmark, metric) in sorted benchmark order. Benchmarks present on only
+// one side are skipped: new benchmarks have no history to regress against,
+// and removed ones are the ledger's business at re-record time, not the
+// gate's.
+func Compare(base, cur *Snapshot, th Thresholds) []Delta {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		if _, ok := cur.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var out []Delta
+	for _, name := range names {
+		b, c := base.Benchmarks[name], cur.Benchmarks[name]
+		out = append(out,
+			Delta{Benchmark: name, Metric: "ns/op", Base: b.NsPerOp, Cur: c.NsPerOp,
+				Frac:       frac(b.NsPerOp, c.NsPerOp),
+				Regression: c.NsPerOp > b.NsPerOp*(1+th.NsFrac)},
+			Delta{Benchmark: name, Metric: "B/op", Base: float64(b.BytesPerOp), Cur: float64(c.BytesPerOp),
+				Frac:       frac(float64(b.BytesPerOp), float64(c.BytesPerOp)),
+				Regression: float64(c.BytesPerOp) > float64(b.BytesPerOp)*(1+th.BytesFrac)},
+			Delta{Benchmark: name, Metric: "allocs/op", Base: float64(b.AllocsPerOp), Cur: float64(c.AllocsPerOp),
+				Frac:       frac(float64(b.AllocsPerOp), float64(c.AllocsPerOp)),
+				Regression: c.AllocsPerOp > b.AllocsPerOp+th.allocBand(b.AllocsPerOp)},
+		)
+	}
+	return out
+}
+
+// Regressions filters a Compare result down to the failing deltas.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func frac(base, cur float64) float64 {
+	if base == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (cur - base) / base
+}

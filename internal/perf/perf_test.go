@@ -1,0 +1,158 @@
+package perf
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: specsampling
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkKMeansRun/serial-4         	       3	  76539177 ns/op	 1398448 B/op	     145 allocs/op
+BenchmarkKMeansRun/parallel-4       	       3	  75359424 ns/op	 1398448 B/op	     145 allocs/op
+BenchmarkFig8-4                     	       2	 123456789 ns/op
+BenchmarkProfile-4                  	       5	   9876543 ns/op	    1024 B/op	      12 allocs/op
+PASS
+ok  	specsampling	0.627s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := ParseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]Metrics{
+		"BenchmarkKMeansRun/serial":   {NsPerOp: 76539177, BytesPerOp: 1398448, AllocsPerOp: 145, Iters: 3},
+		"BenchmarkKMeansRun/parallel": {NsPerOp: 75359424, BytesPerOp: 1398448, AllocsPerOp: 145, Iters: 3},
+		"BenchmarkFig8":               {NsPerOp: 123456789, Iters: 2},
+		"BenchmarkProfile":            {NsPerOp: 9876543, BytesPerOp: 1024, AllocsPerOp: 12, Iters: 5},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("%s: got %+v, want %+v", name, got[name], w)
+		}
+	}
+}
+
+func TestParseBenchFastestRunWins(t *testing.T) {
+	out := `BenchmarkX-8   10   200 ns/op   8 B/op   1 allocs/op
+BenchmarkX-8   12   150 ns/op   8 B/op   1 allocs/op
+BenchmarkX-8   11   180 ns/op   8 B/op   1 allocs/op
+`
+	got, err := ParseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := got["BenchmarkX"]; m.NsPerOp != 150 || m.Iters != 12 {
+		t.Errorf("kept %+v, want the 150 ns/op run", m)
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkX-8":          "BenchmarkX",
+		"BenchmarkX":            "BenchmarkX",
+		"BenchmarkX/sub-case-4": "BenchmarkX/sub-case",
+		"BenchmarkX/sub-case":   "BenchmarkX/sub-case",
+	}
+	for in, want := range cases {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := New()
+	s.Benchmarks["BenchmarkX"] = Metrics{NsPerOp: 100, BytesPerOp: 8, AllocsPerOp: 1, Iters: 10}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != SchemaVersion || got.HostClass != HostClass() {
+		t.Errorf("round trip lost identity: %+v", got)
+	}
+	if got.Benchmarks["BenchmarkX"] != s.Benchmarks["BenchmarkX"] {
+		t.Errorf("round trip lost metrics: %+v", got.Benchmarks)
+	}
+}
+
+func TestLoadRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_old.json")
+	if err := os.WriteFile(path, []byte(`{"schema": 99, "benchmarks": {}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("loaded a snapshot with an unknown schema version")
+	}
+}
+
+func TestCompareThresholds(t *testing.T) {
+	th := Thresholds{NsFrac: 0.35, BytesFrac: 0.15, AllocSlack: 0}
+	base := New()
+	base.Benchmarks["B"] = Metrics{NsPerOp: 1000, BytesPerOp: 100, AllocsPerOp: 10}
+
+	cases := []struct {
+		name    string
+		cur     Metrics
+		wantReg []string // metrics expected to regress
+	}{
+		{"within-noise", Metrics{NsPerOp: 1300, BytesPerOp: 110, AllocsPerOp: 10}, nil},
+		{"time-regression", Metrics{NsPerOp: 1400, BytesPerOp: 100, AllocsPerOp: 10}, []string{"ns/op"}},
+		{"alloc-regression", Metrics{NsPerOp: 1000, BytesPerOp: 100, AllocsPerOp: 11}, []string{"allocs/op"}},
+		{"bytes-regression", Metrics{NsPerOp: 1000, BytesPerOp: 120, AllocsPerOp: 10}, []string{"B/op"}},
+		{"improvement", Metrics{NsPerOp: 500, BytesPerOp: 50, AllocsPerOp: 5}, nil},
+	}
+	for _, tc := range cases {
+		cur := New()
+		cur.Benchmarks["B"] = tc.cur
+		regs := Regressions(Compare(base, cur, th))
+		var got []string
+		for _, d := range regs {
+			got = append(got, d.Metric)
+		}
+		if len(got) != len(tc.wantReg) {
+			t.Errorf("%s: regressions %v, want %v", tc.name, got, tc.wantReg)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.wantReg[i] {
+				t.Errorf("%s: regressions %v, want %v", tc.name, got, tc.wantReg)
+			}
+		}
+	}
+}
+
+func TestCompareSkipsUnmatchedBenchmarks(t *testing.T) {
+	base, cur := New(), New()
+	base.Benchmarks["OnlyBase"] = Metrics{NsPerOp: 1}
+	cur.Benchmarks["OnlyCur"] = Metrics{NsPerOp: 1}
+	if ds := Compare(base, cur, DefaultThresholds()); len(ds) != 0 {
+		t.Errorf("unmatched benchmarks produced %d deltas", len(ds))
+	}
+}
+
+func TestTargetsHaveRecordSet(t *testing.T) {
+	var record int
+	for _, tg := range Targets() {
+		if tg.Name == "" || tg.Pkg == "" || tg.Pattern == "" {
+			t.Errorf("incomplete target %+v", tg)
+		}
+		if tg.Record {
+			record++
+		}
+	}
+	if record == 0 {
+		t.Error("no Record-marked targets: the perf gate would never measure anything")
+	}
+}

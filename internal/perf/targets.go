@@ -1,0 +1,51 @@
+package perf
+
+// Target is one benchmark set cmd/specbench knows how to run — the single
+// source of truth for which benchmarks exist. The Makefile's benchsmoke and
+// benchdiff both route through this table, so adding a benchmark here is
+// all it takes for the smoke pass and (if Record is set) the perf gate to
+// pick it up.
+type Target struct {
+	// Name labels the set in specbench output.
+	Name string
+	// Pkg is the package pattern to run (relative to the repository root).
+	Pkg string
+	// Pattern is the -bench regexp.
+	Pattern string
+	// Record marks sets whose numbers go into BENCH_*.json snapshots.
+	// Smoke-only sets (Record false) are run once to catch bit-rot but are
+	// too small or too incidental to gate on.
+	Record bool
+}
+
+// Targets returns the benchmark sets in run order.
+func Targets() []Target {
+	return []Target{
+		// The paper-facing macro benchmarks: the analysis kernels
+		// (BenchmarkKMeansRun, BenchmarkProfile, BenchmarkSuiteAnalyze) and
+		// every Table/Fig reproduction bench. These are the perf
+		// trajectory.
+		{
+			Name:    "paper",
+			Pkg:     ".",
+			Pattern: "^(BenchmarkKMeansRun|BenchmarkProfile|BenchmarkSuiteAnalyze|BenchmarkTable|BenchmarkFig)",
+			Record:  true,
+		},
+		// Everything else at the repository root (ablation benches):
+		// smoke-only.
+		{
+			Name:    "root-other",
+			Pkg:     ".",
+			Pattern: "^BenchmarkAblation",
+			Record:  false,
+		},
+		// Micro benchmarks inside internal packages, including the
+		// BenchmarkObsOverhead disabled-path guard: smoke-only.
+		{
+			Name:    "internal",
+			Pkg:     "./internal/...",
+			Pattern: ".",
+			Record:  false,
+		},
+	}
+}

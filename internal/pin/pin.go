@@ -71,6 +71,14 @@ type Engine struct {
 	memTools    []MemTool
 	branchTools []BranchTool
 	fetchTools  []FetchTool
+
+	// Cached hook closures, built at most once per engine. Each closure
+	// reads the engine's tool slices at call time, so it stays valid across
+	// Reset/Attach cycles — a reused replay engine allocates no closures
+	// after its first run.
+	blockHook  func(b *isa.Block, phase int)
+	memHook    func(ref isa.MemRef)
+	branchHook func(ev isa.BranchEvent)
 }
 
 // NewEngine wraps a finalized program in a fresh engine.
@@ -117,56 +125,65 @@ func (e *Engine) Attach(t Tool) error {
 // Tools returns the attached tools in attachment order.
 func (e *Engine) Tools() []Tool { return e.tools }
 
-// hooks builds the executor hook set for the current tool population.
+// Reset detaches every tool while keeping the engine (and its underlying
+// executor) alive. The tool slices keep their backing arrays and the hook
+// closures stay cached, so a Reset/Attach/Run cycle on a long-lived engine
+// — the pattern of a replay worker driving one pinball after another —
+// performs no per-replay allocations.
+func (e *Engine) Reset() {
+	e.tools = e.tools[:0]
+	e.blockTools = e.blockTools[:0]
+	e.memTools = e.memTools[:0]
+	e.branchTools = e.branchTools[:0]
+	e.fetchTools = e.fetchTools[:0]
+}
+
+// hooks assembles the executor hook set for the current tool population.
+// Hooks are present only for event kinds with at least one attached tool —
+// in particular Mem stays nil without memory tools, keeping the executor on
+// the block-granular fast path. The closures themselves are built lazily
+// once and dispatch over the live tool slices, so hooks() allocates nothing
+// on engines that have run before.
 func (e *Engine) hooks() program.Hooks {
 	var h program.Hooks
-	switch {
-	case len(e.blockTools) == 1 && len(e.fetchTools) == 0:
-		bt := e.blockTools[0]
-		h.Block = bt.OnBlock
-	case len(e.blockTools) > 0 || len(e.fetchTools) > 0:
-		blocks := e.blockTools
-		fetches := e.fetchTools
-		h.Block = func(b *isa.Block, phase int) {
-			for _, t := range blocks {
-				t.OnBlock(b, phase)
-			}
-			if len(fetches) > 0 {
-				var bytes uint64
-				for _, in := range b.Instrs {
-					bytes += uint64(in.Size)
+	if len(e.blockTools) > 0 || len(e.fetchTools) > 0 {
+		if e.blockHook == nil {
+			e.blockHook = func(b *isa.Block, phase int) {
+				for _, t := range e.blockTools {
+					t.OnBlock(b, phase)
 				}
-				for _, t := range fetches {
-					t.OnFetch(b.PC, bytes)
+				if len(e.fetchTools) > 0 {
+					var bytes uint64
+					for _, in := range b.Instrs {
+						bytes += uint64(in.Size)
+					}
+					for _, t := range e.fetchTools {
+						t.OnFetch(b.PC, bytes)
+					}
 				}
 			}
 		}
+		h.Block = e.blockHook
 	}
-	switch len(e.memTools) {
-	case 0:
-	case 1:
-		mt := e.memTools[0]
-		h.Mem = mt.OnMem
-	default:
-		mems := e.memTools
-		h.Mem = func(ref isa.MemRef) {
-			for _, t := range mems {
-				t.OnMem(ref)
+	if len(e.memTools) > 0 {
+		if e.memHook == nil {
+			e.memHook = func(ref isa.MemRef) {
+				for _, t := range e.memTools {
+					t.OnMem(ref)
+				}
 			}
 		}
+		h.Mem = e.memHook
 	}
-	switch len(e.branchTools) {
-	case 0:
-	case 1:
-		bt := e.branchTools[0]
-		h.Branch = bt.OnBranch
-	default:
-		brs := e.branchTools
-		h.Branch = func(ev isa.BranchEvent) {
-			for _, t := range brs {
-				t.OnBranch(ev)
+	if len(e.branchTools) > 0 {
+		if e.branchHook == nil {
+			e.branchHook = func(ev isa.BranchEvent) {
+				for _, t := range e.branchTools {
+					t.OnBranch(ev)
+				}
 			}
 		}
+		h.Branch = e.branchHook
 	}
 	return h
 }

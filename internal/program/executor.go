@@ -93,7 +93,11 @@ func (e *Executor) Program() *Program { return e.prog }
 func (e *Executor) State() State { return e.st.Clone() }
 
 // Restore rewinds or fast-forwards the executor to a previously captured
-// state. The state must come from the same program.
+// state. The state must come from the same program. The snapshot is copied,
+// never aliased, and the copy reuses the executor's existing phase buffer —
+// Restore allocates nothing once the executor exists, which is what lets a
+// replay worker restore thousands of pinballs through one executor without
+// garbage (pinned by TestReplayerReplayAllocs).
 func (e *Executor) Restore(s State) error {
 	if len(s.Phases) != len(e.prog.Phases) {
 		return fmt.Errorf("program: state has %d phases, program has %d", len(s.Phases), len(e.prog.Phases))
@@ -101,7 +105,15 @@ func (e *Executor) Restore(s State) error {
 	if s.Seg > len(e.prog.Schedule) {
 		return fmt.Errorf("program: state segment %d out of range", s.Seg)
 	}
-	e.st = s.Clone()
+	phases := e.st.Phases
+	if cap(phases) < len(s.Phases) {
+		phases = make([]PhaseState, len(s.Phases))
+	} else {
+		phases = phases[:len(s.Phases)]
+	}
+	copy(phases, s.Phases)
+	e.st = s
+	e.st.Phases = phases
 	return nil
 }
 

@@ -56,6 +56,18 @@ var (
 // of goroutine interleaving. If ctx is cancelled, remaining indices are not
 // started and ForEach returns ctx.Err().
 func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	return ForEachSharded(ctx, workers, n, func(_, i int) error { return fn(i) })
+}
+
+// ForEachSharded is ForEach for callers that keep per-worker scratch state:
+// fn additionally receives the stable id of the worker goroutine running it,
+// in [0, min(Workers(workers), n)). Two invocations with the same worker id
+// never run concurrently, so fn may freely reuse a scratch structure (an
+// executor, an engine, a buffer pool) indexed by that id without locking —
+// the sharding pattern the parallel pinball replay is built on. Everything
+// else (index-addressed results, lowest-index error, cancellation draining)
+// matches ForEach.
+func ForEachSharded(ctx context.Context, workers, n int, fn func(worker, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -68,13 +80,13 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 		begin = time.Now()
 		taskCounter.Add(int64(n))
 	}
-	run := func(i int) error {
+	run := func(w, i int) error {
 		if !traced {
-			return fn(i)
+			return fn(w, i)
 		}
 		start := time.Now()
 		taskWaitMS.Observe(float64(start.Sub(begin).Microseconds()) / 1e3)
-		err := fn(i)
+		err := fn(w, i)
 		taskRunMS.Observe(float64(time.Since(start).Microseconds()) / 1e3)
 		return err
 	}
@@ -89,7 +101,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := run(i); err != nil && first == nil {
+			if err := run(0, i); err != nil && first == nil {
 				first = err
 			}
 		}
@@ -103,16 +115,16 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				errs[i] = run(i)
+				errs[i] = run(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	// A cancelled run reports ctx.Err() unconditionally: which indices got

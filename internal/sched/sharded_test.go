@@ -1,0 +1,75 @@
+package sched
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachShardedCoversAllIndices mirrors the ForEach coverage test and
+// additionally checks every reported worker id is in range.
+func TestForEachShardedCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 100
+		seen := make([]atomic.Int32, n)
+		maxW := workers
+		if maxW > n {
+			maxW = n
+		}
+		err := ForEachSharded(context.Background(), workers, n, func(w, i int) error {
+			if w < 0 || w >= maxW {
+				t.Errorf("worker id %d out of range [0,%d)", w, maxW)
+			}
+			seen[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Errorf("workers=%d: index %d ran %d times, want 1", workers, i, got)
+			}
+		}
+	}
+}
+
+// TestForEachShardedWorkerExclusive pins the contract per-worker scratch
+// state depends on: two invocations with the same worker id never run
+// concurrently.
+func TestForEachShardedWorkerExclusive(t *testing.T) {
+	const workers, n = 8, 400
+	busy := make([]atomic.Bool, workers)
+	var violations atomic.Int32
+	err := ForEachSharded(context.Background(), workers, n, func(w, _ int) error {
+		if !busy[w].CompareAndSwap(false, true) {
+			violations.Add(1)
+			return nil
+		}
+		// A tiny bit of work to give an overlapping invocation a window.
+		for i := 0; i < 100; i++ {
+			_ = i * i
+		}
+		busy[w].Store(false)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := violations.Load(); v != 0 {
+		t.Errorf("%d concurrent invocations shared a worker id", v)
+	}
+}
+
+// TestForEachShardedSerialUsesWorkerZero pins the degenerate path.
+func TestForEachShardedSerialUsesWorkerZero(t *testing.T) {
+	err := ForEachSharded(context.Background(), 1, 10, func(w, _ int) error {
+		if w != 0 {
+			t.Errorf("serial path reported worker %d, want 0", w)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
