@@ -1,15 +1,16 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check vet lint fmtcheck build test race racesmoke bench benchsmoke benchdiff benchrecord cachesmoke
+.PHONY: check vet lint fmtcheck build test race racesmoke bench benchsmoke benchdiff benchrecord cachesmoke shootoutsmoke
 
 ## check: the pre-commit gate — gofmt, vet, the project's own static
 ## analysis (speclint), build, the full test suite, the determinism tests
 ## under -race, a single-iteration pass over every benchmark (including the
-## obs overhead guard), a warm-cache smoke run of the persistent store, and
-## the performance-regression gate against the committed BENCH_*.json
-## baseline (skipped on hosts without one).
-check: fmtcheck vet lint build test racesmoke benchsmoke cachesmoke benchdiff
+## obs overhead guard), a warm-cache smoke run of the persistent store, a
+## cross-selector shoot-out smoke, and the performance-regression gate
+## against the committed BENCH_*.json baseline (skipped on hosts without
+## one).
+check: fmtcheck vet lint build test racesmoke benchsmoke cachesmoke shootoutsmoke benchdiff
 
 vet:
 	$(GO) vet ./...
@@ -41,6 +42,7 @@ racesmoke:
 	$(GO) test -race -run 'TestFiguresIdenticalAcrossWorkerCounts|TestResumeAfterCancelledRun|TestCorruptCacheEntriesDegradeToRecompute' ./internal/experiments
 	$(GO) test -race -run 'TestReplayerReusedMatchesFresh|TestReplaySuiteMatchesReplayAll|TestReplayAllParallelMatchesSequential' ./internal/pinball
 	$(GO) test -race -run 'TestForEachSharded' ./internal/sched
+	$(GO) test -race -run 'TestSelectorDeterminism|TestSelectorInvariants' ./internal/selector
 
 ## bench: one testing.B benchmark per paper table/figure, single iteration.
 bench:
@@ -65,6 +67,22 @@ benchdiff:
 ## that justified it.
 benchrecord:
 	$(GO) run ./cmd/specbench record
+
+## shootoutsmoke: the cross-selector harness end to end — one benchmark at
+## small scale, two repeated subsamples; every registered backend must show
+## up in the report with its confidence-interval columns.
+shootoutsmoke:
+	@out="$$($(GO) run ./cmd/experiments -run shootout -scale small \
+		-bench 505.mcf_r -repeats 2)"; set -e; \
+	for s in simpoint stratified rankedset; do \
+		echo "$$out" | grep -q "$$s" || { \
+			echo "shootoutsmoke: backend $$s missing from report"; \
+			echo "$$out"; exit 1; }; \
+	done; \
+	echo "$$out" | grep -q '±' || { \
+		echo "shootoutsmoke: no confidence intervals in report"; \
+		echo "$$out"; exit 1; }; \
+	echo "shootoutsmoke: all backends reported with CIs"
 
 ## cachesmoke: the persistent artifact store end to end — run the same
 ## experiment twice into a fresh cache dir; the second run must be served

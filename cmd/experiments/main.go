@@ -45,6 +45,7 @@ import (
 
 	"specsampling/internal/experiments"
 	"specsampling/internal/obs"
+	"specsampling/internal/selector"
 	"specsampling/internal/store"
 	"specsampling/internal/workload"
 )
@@ -82,10 +83,18 @@ func run(ctx context.Context, args []string) error {
 			"clustering and pinball replay all fan out across this budget "+
 			"(results are identical for any value; <= 0 means GOMAXPROCS)")
 	jsonPath := fs.String("json", "", "also write structured results as JSON to this file")
+	sel := fs.String("selector", "",
+		"region-selection backend (default simpoint); 'list' prints the registered backends and their knobs")
+	repeats := fs.Int("repeats", 0,
+		"shoot-out repeated-subsampling runs behind each confidence interval (default 5, min 2)")
 	cacheFlags := store.BindFlags(fs)
 	obsFlags := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *sel == "list" {
+		selector.FprintList(os.Stdout)
+		return nil
 	}
 	st, err := cacheFlags.Open()
 	if err != nil {
@@ -115,11 +124,13 @@ func run(ctx context.Context, args []string) error {
 		}
 	}
 	runner, err := experiments.New(experiments.Options{
-		Scale:      scale,
-		Benchmarks: names,
-		Workers:    *workers,
-		Out:        os.Stdout,
-		Store:      st,
+		Scale:           scale,
+		Benchmarks:      names,
+		Workers:         *workers,
+		Out:             os.Stdout,
+		Store:           st,
+		Selector:        *sel,
+		ShootoutRepeats: *repeats,
 	})
 	if err != nil {
 		return err

@@ -77,7 +77,7 @@ func logPinballs(ctx context.Context, args []string) error {
 		return err
 	}
 	cfg := core.DefaultConfig(scale)
-	cfg.MaxK = *maxK
+	cfg.SimPoint.MaxK = *maxK
 	an, err := core.Analyze(ctx, spec, cfg)
 	if err != nil {
 		return err

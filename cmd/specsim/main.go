@@ -6,7 +6,8 @@
 //
 //	specsim list
 //	specsim run -bench 505.mcf_r [-scale medium] [-instrs N]
-//	specsim phases -bench 503.bwaves_r [-scale medium] [-width 100] [-workers N]
+//	specsim phases -bench 503.bwaves_r [-scale medium] [-width 100] [-workers N] [-selector NAME]
+//	specsim phases -selector list
 //
 // The run and phases subcommands accept the shared observability flags:
 // -trace FILE (JSONL span trace), -progress (live narration on stderr) and

@@ -13,6 +13,7 @@ import (
 	"specsampling/internal/obs"
 	"specsampling/internal/pin"
 	"specsampling/internal/pinball"
+	"specsampling/internal/selector"
 	"specsampling/internal/store"
 	"specsampling/internal/textplot"
 	"specsampling/internal/timing"
@@ -30,10 +31,16 @@ func phasesCmd(ctx context.Context, args []string) error {
 	width := fs.Int("width", 100, "timeline width in characters")
 	workers := fs.Int("workers", runtime.NumCPU(),
 		"worker goroutines for clustering and replay (results are identical for any value; <= 0 means GOMAXPROCS)")
+	sel := fs.String("selector", "",
+		"region-selection backend (default simpoint); 'list' prints the registered backends and their knobs")
 	cacheFlags := store.BindFlags(fs)
 	obsFlags := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *sel == "list" {
+		selector.FprintList(os.Stdout)
+		return nil
 	}
 	if *bench == "" {
 		return fmt.Errorf("missing -bench")
@@ -61,6 +68,7 @@ func phasesCmd(ctx context.Context, args []string) error {
 	}
 	acfg := core.DefaultConfig(scale)
 	acfg.Workers = *workers
+	acfg.Selector = *sel
 	an, err := core.AnalyzeStored(ctx, spec, acfg, st)
 	if err != nil {
 		return err

@@ -34,7 +34,7 @@ func main() {
 	scale := workload.ScaleFromEnv(workload.ScaleMedium)
 	cfg := core.DefaultConfig(scale)
 	obs.Headerf("scale=%s slice=%d maxk=%d seed=%d workers=%d",
-		scale.Name, scale.SliceLen, cfg.MaxK, cfg.Seed, sched.Workers(cfg.Workers))
+		scale.Name, scale.SliceLen, cfg.SimPoint.MaxK, cfg.Seed, sched.Workers(cfg.Workers))
 
 	// 2. Profile and cluster: one pass over the whole execution collects a
 	// basic block vector per 30M-equivalent slice; k-means with BIC model

@@ -21,7 +21,12 @@ import (
 // key-derivation root. The analyzer walks the static call graph reachable
 // from those roots and records every field of every *Config struct that the
 // reachable code mentions (reads, writes, or sets in a composite literal —
-// a field copied into the key's inputs counts as covered). Any Config type
+// a field copied into the key's inputs counts as covered). Calls through an
+// interface (the selector.Selector dispatch in core.Config.ClusterKey) have
+// no single static callee, so the walk conservatively descends into every
+// declared method with the callee's name whose receiver satisfies the
+// interface — each registered backend's KeyParts body is part of the key
+// derivation no matter which backend a given run picks. Any Config type
 // with at least one covered field must have all of its fields covered;
 // uncovered fields are reported at their declaration. Fields that are
 // deliberately excluded (e.g. worker budgets that cannot change results)
@@ -86,9 +91,23 @@ func runCachekey(pass *Pass) {
 			if !ok {
 				return true
 			}
-			if callee := calleeFunc(site.pkg.Info, call); callee != nil && !reachable[callee] {
-				if _, has := decls[callee]; has {
+			callee := calleeFunc(site.pkg.Info, call)
+			if callee == nil {
+				return true
+			}
+			if _, has := decls[callee]; has {
+				if !reachable[callee] {
 					work = append(work, callee)
+				}
+			} else if iface := ifaceRecv(callee); iface != nil {
+				// Interface dispatch: the static callee is the abstract
+				// method, which has no body. Any registered implementation
+				// may run, so every satisfying declared method joins the
+				// walk.
+				for _, impl := range implementers(iface, callee.Name(), decls) {
+					if !reachable[impl] {
+						work = append(work, impl)
+					}
 				}
 			}
 			return true
@@ -208,6 +227,43 @@ func returnsStoreKey(fn *types.Func) bool {
 		}
 	}
 	return false
+}
+
+// ifaceRecv returns the interface type fn is declared on if fn is an
+// abstract interface method (the object a call through an interface value
+// resolves to), nil for concrete methods and plain functions.
+func ifaceRecv(fn *types.Func) *types.Interface {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	iface, _ := sig.Recv().Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// implementers returns every declared concrete method named name whose
+// receiver type (or a pointer to it) implements iface, sorted for a
+// deterministic walk order.
+func implementers(iface *types.Interface, name string, decls map[*types.Func]declSite) []*types.Func {
+	var out []*types.Func
+	for fn := range decls {
+		if fn.Name() != name {
+			continue
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			continue
+		}
+		recv := sig.Recv().Type()
+		if _, abstract := recv.Underlying().(*types.Interface); abstract {
+			continue
+		}
+		if types.Implements(recv, iface) || types.Implements(types.NewPointer(recv), iface) {
+			out = append(out, fn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FullName() < out[j].FullName() })
+	return out
 }
 
 // isModuleConfig reports whether named is a configuration struct defined in

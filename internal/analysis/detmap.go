@@ -14,6 +14,7 @@ var detmapPackages = map[string]bool{
 	"stats":       true,
 	"simpoint":    true,
 	"subset":      true,
+	"selector":    true,
 	"experiments": true,
 }
 

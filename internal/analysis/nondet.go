@@ -13,6 +13,7 @@ import (
 var kernelPackages = map[string]bool{
 	"kmeans":   true,
 	"simpoint": true,
+	"selector": true,
 	"stats":    true,
 	"subset":   true,
 	"bbv":      true,

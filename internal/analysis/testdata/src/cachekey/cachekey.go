@@ -55,3 +55,33 @@ func CoveredKey(bench string, c CoveredConfig) store.Key {
 		},
 	}
 }
+
+// Keyer mirrors the selector.Selector dispatch: the key derivation calls an
+// interface method, so no single static callee exists and the analyzer must
+// descend into every implementation.
+type Keyer interface {
+	KeyParts(c BackendConfig) []string
+}
+
+// BackendConfig configures the dispatch fixture backend. Gamma is covered
+// only inside gammaKeyer.KeyParts — reachable solely through the interface
+// call in DispatchKey — while Delta is read nowhere on any key path.
+type BackendConfig struct {
+	Gamma int
+	Delta int // want "cachekey: field Delta of cachekey.BackendConfig is not covered by any store.Key derivation"
+}
+
+type gammaKeyer struct{}
+
+// KeyParts covers Gamma; without interface-dispatch resolution this body is
+// invisible to the walk and Gamma would be (wrongly) reported too.
+func (gammaKeyer) KeyParts(c BackendConfig) []string {
+	return []string{fmt.Sprintf("gamma=%d", c.Gamma)}
+}
+
+// DispatchKey is a key-derivation root whose parts come from a dynamic call.
+func DispatchKey(bench string, k Keyer, c BackendConfig) store.Key {
+	return store.Key{Kind: "dispatch", Bench: bench, Parts: k.KeyParts(c)}
+}
+
+var _ Keyer = gammaKeyer{}

@@ -15,10 +15,10 @@ import (
 	"fmt"
 
 	"specsampling/internal/cache"
-	"specsampling/internal/kmeans"
 	"specsampling/internal/obs"
 	"specsampling/internal/pinball"
 	"specsampling/internal/program"
+	"specsampling/internal/selector"
 	"specsampling/internal/simpoint"
 	"specsampling/internal/store"
 	"specsampling/internal/timing"
@@ -31,45 +31,56 @@ import (
 //	Config{Scale: workload.ScaleSmall}
 //
 // is equivalent to DefaultConfig(workload.ScaleSmall).
+//
+// Region selection is pluggable (see internal/selector): Selector names the
+// backend, and each backend's knobs live in its own zero-value-safe block
+// rather than as flat fields here, so adding a backend never disturbs the
+// others' configuration.
 type Config struct {
 	// Scale selects the workload scale (see workload.Scale).
 	Scale workload.Scale
 	// SliceLen overrides the scale's slice length when non-zero.
 	SliceLen uint64
-	// MaxK is the cluster ceiling; <= 0 uses simpoint.DefaultMaxK (the
-	// paper settles on 35).
-	MaxK int
-	// BICThreshold is the SimPoint BIC fraction; <= 0 uses
-	// simpoint.DefaultBICThreshold (0.9).
-	BICThreshold float64
-	// Seed drives projection/clustering; 0 uses simpoint.DefaultSeed.
+	// Selector names the region-selection backend; empty uses
+	// selector.DefaultName ("simpoint", the paper's pipeline).
+	Selector string
+	// Seed drives projection/clustering/sampling; 0 uses
+	// simpoint.DefaultSeed.
 	Seed uint64
 	// Workers bounds parallel pinball replay and clustering; <= 0 uses
 	// GOMAXPROCS (resolved at the point of use via sched.Workers, so a
 	// Config is portable across machines).
 	Workers int
+	// SimPoint configures the "simpoint" backend (MaxK, BIC threshold).
+	SimPoint selector.SimPointConfig
+	// Stratified configures the "stratified" backend.
+	Stratified selector.StratifiedConfig
+	// RankedSet configures the "rankedset" backend.
+	RankedSet selector.RankedSetConfig
 }
 
 // DefaultConfig returns the paper's configuration at the given scale:
-// MaxK 35 with the scale's 30 M-equivalent slice length.
+// SimPoint selection at MaxK 35 with the scale's 30 M-equivalent slice
+// length.
 func DefaultConfig(scale workload.Scale) Config {
 	return Config{Scale: scale}.Normalize()
 }
 
 // Normalize resolves zero values to the pipeline defaults declared in
-// package simpoint. It is idempotent, and every entry point calls it, so
-// callers may pass sparse configs. SliceLen stays zero here — it is a
-// per-call override of the scale's slice length, resolved by sliceLen().
+// packages simpoint and selector. It is idempotent, and every entry point
+// calls it, so callers may pass sparse configs. SliceLen stays zero here —
+// it is a per-call override of the scale's slice length, resolved by
+// sliceLen().
 func (c Config) Normalize() Config {
-	if c.MaxK <= 0 {
-		c.MaxK = simpoint.DefaultMaxK
-	}
-	if c.BICThreshold <= 0 {
-		c.BICThreshold = simpoint.DefaultBICThreshold
+	if c.Selector == "" {
+		c.Selector = selector.DefaultName
 	}
 	if c.Seed == 0 {
 		c.Seed = simpoint.DefaultSeed
 	}
+	c.SimPoint = c.SimPoint.Normalize()
+	c.Stratified = c.Stratified.Normalize()
+	c.RankedSet = c.RankedSet.Normalize()
 	return c
 }
 
@@ -80,18 +91,23 @@ func (c Config) sliceLen() uint64 {
 	return c.Scale.SliceLen
 }
 
-func (c Config) simpointConfig() simpoint.Config {
+// selectorConfig lowers this Config to the backend-independent selection
+// config handed to the Selector interface.
+func (c Config) selectorConfig() selector.Config {
 	c = c.Normalize()
-	sp := simpoint.DefaultConfig(c.sliceLen())
-	sp.MaxK = c.MaxK
-	sp.BICThreshold = c.BICThreshold
-	sp.Seed = c.Seed
-	// Hand the worker budget to the clustering engine. The explicit config
-	// matches what simpoint would default to, plus Workers; k-means results
-	// are identical for every worker count.
-	sp.KMeans = kmeans.DefaultConfig(sp.Seed)
-	sp.KMeans.Workers = c.Workers
-	return sp
+	return selector.Config{
+		SliceLen:   c.sliceLen(),
+		Seed:       c.Seed,
+		Workers:    c.Workers,
+		SimPoint:   c.SimPoint,
+		Stratified: c.Stratified,
+		RankedSet:  c.RankedSet,
+	}.Normalize()
+}
+
+// selectorFor resolves the configured backend.
+func (c Config) selectorFor() (selector.Selector, error) {
+	return selector.ByName(c.Normalize().Selector)
 }
 
 // profileArtifact is the persisted form of the profile stage: the slices
@@ -116,24 +132,30 @@ func (c Config) ProfileKey(bench string) store.Key {
 	}}
 }
 
-// ClusterKey is the store key of the benchmark's clustering stage. It
-// extends ProfileKey (a clustering is a function of the profile) with every
-// knob the SimPoint pipeline reads: MaxK, BIC threshold, projection
-// dimensionality, seed, and the k-means engine parameters. Workers is
-// excluded — clustering results are byte-identical for any worker count.
+// clusterKeyVersion salts ClusterKey. Bumped to 2 with the RegionSelector
+// redesign: selection artifacts are now namespaced by backend name plus the
+// backend's own KeyParts, so pre-redesign entries (which assumed the
+// SimPoint knob set) can never alias the new layout.
+const clusterKeyVersion = 2
+
+// ClusterKey is the store key of the benchmark's selection stage. It
+// extends ProfileKey (a selection is a function of the profile) with the
+// key version salt, the backend name, and the backend's KeyParts — every
+// knob that backend's Select reads. Workers is excluded — selection
+// results are byte-identical for any worker count.
 func (c Config) ClusterKey(bench string) store.Key {
-	sp := c.simpointConfig()
+	c = c.Normalize()
 	k := c.ProfileKey(bench)
 	k.Kind = "cluster"
 	k.Parts = append(k.Parts,
-		fmt.Sprintf("maxk=%d", sp.MaxK),
-		fmt.Sprintf("bic=%g", sp.BICThreshold),
-		fmt.Sprintf("dims=%d", sp.ProjectDims),
-		fmt.Sprintf("seed=%d", sp.Seed),
-		fmt.Sprintf("restarts=%d", sp.KMeans.Restarts),
-		fmt.Sprintf("maxiter=%d", sp.KMeans.MaxIter),
-		fmt.Sprintf("sample=%d", sp.KMeans.SampleSize),
+		fmt.Sprintf("ckv=%d", clusterKeyVersion),
+		"selector="+c.Selector,
 	)
+	// An unknown selector name still yields a well-formed (if partial) key;
+	// Analyze fails fast on the same resolution error before any store use.
+	if sel, err := c.selectorFor(); err == nil {
+		k.Parts = append(k.Parts, sel.KeyParts(c.selectorConfig())...)
+	}
 	return k
 }
 
@@ -149,7 +171,7 @@ type Analysis struct {
 	Slices []simpoint.Slice
 	// TotalInstrs is the measured whole-run instruction count.
 	TotalInstrs uint64
-	// Result is the SimPoint clustering at the configured MaxK.
+	// Result is the configured selector's region selection.
 	Result *simpoint.Result
 }
 
@@ -200,7 +222,11 @@ func analyzeProgram(ctx context.Context, spec workload.Spec, prog *program.Progr
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	spCfg := cfg.simpointConfig()
+	sel, err := cfg.selectorFor()
+	if err != nil {
+		return nil, err
+	}
+	scfg := cfg.selectorConfig()
 
 	var slices []simpoint.Slice
 	var total uint64
@@ -209,9 +235,9 @@ func analyzeProgram(ctx context.Context, spec workload.Spec, prog *program.Progr
 	if st.Get(ctx, pkey, &prof) {
 		slices, total = prof.Slices, prof.TotalInstrs
 	} else {
-		pctx, pspan := obs.Start(ctx, "profile", obs.Uint64("slice_len", spCfg.SliceLen))
+		pctx, pspan := obs.Start(ctx, "profile", obs.Uint64("slice_len", scfg.SliceLen))
 		var err error
-		slices, total, err = simpoint.Profile(prog, spCfg.SliceLen)
+		slices, total, err = simpoint.Profile(prog, scfg.SliceLen)
 		if err != nil {
 			pspan.End()
 			return nil, fmt.Errorf("core: profile %s: %w", spec.Name, err)
@@ -237,15 +263,14 @@ func analyzeProgram(ctx context.Context, spec workload.Spec, prog *program.Progr
 		// The stored config echoes whatever run wrote the artifact; restate
 		// this call's config (the only field that may differ is the
 		// non-semantic worker budget, which is excluded from the key).
-		stored.Config = spCfg
+		stored.Config = sel.EchoConfig(scfg)
 		res = &stored
 	} else {
-		_, cspan := obs.Start(ctx, "cluster", obs.Int("max_k", spCfg.MaxK))
-		var err error
-		res, err = simpoint.Cluster(prog.Name, slices, total, spCfg)
+		cctx, cspan := obs.Start(ctx, "cluster", obs.String("selector", sel.Name()))
+		res, err = sel.Select(cctx, prog.Name, slices, total, scfg)
 		if err != nil {
 			cspan.End()
-			return nil, fmt.Errorf("core: cluster %s: %w", spec.Name, err)
+			return nil, fmt.Errorf("core: select %s: %w", spec.Name, err)
 		}
 		cspan.Annotate(obs.Int("k", res.NumPoints()))
 		cspan.End()
@@ -274,22 +299,38 @@ func (a *Analysis) TimingConfig() timing.Config {
 	return timing.ScaledConfig(timing.TableIIIConfig(), a.Config.Scale.CacheDivs)
 }
 
-// Recluster re-runs the clustering step of an existing analysis with a
-// different MaxK (the Figure 3(a) sweep) without re-profiling.
-func (a *Analysis) Recluster(ctx context.Context, maxK int) (*simpoint.Result, error) {
+// SelectWith re-runs region selection on the profiled slices under a
+// different configuration — another backend, seed, or knob block — without
+// re-profiling. The shoot-out harness leans on this: one profile, every
+// selector.
+func (a *Analysis) SelectWith(ctx context.Context, cfg Config) (*simpoint.Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	_, span := obs.Start(ctx, "cluster",
-		obs.String("bench", a.Prog.Name), obs.Int("max_k", maxK))
+	cfg = cfg.Normalize()
+	sel, err := cfg.selectorFor()
+	if err != nil {
+		return nil, err
+	}
+	ctx, span := obs.Start(ctx, "cluster",
+		obs.String("bench", a.Prog.Name), obs.String("selector", sel.Name()))
 	defer span.End()
+	return sel.Select(ctx, a.Prog.Name, a.Slices, a.TotalInstrs, cfg.selectorConfig())
+}
+
+// Recluster re-runs the selection step of an existing analysis with a
+// different MaxK (the Figure 3(a) sweep) without re-profiling. The MaxK
+// knob belongs to the SimPoint block; other backends re-run unchanged.
+func (a *Analysis) Recluster(ctx context.Context, maxK int) (*simpoint.Result, error) {
 	cfg := a.Config
-	cfg.MaxK = maxK
-	return simpoint.Cluster(a.Prog.Name, a.Slices, a.TotalInstrs, cfg.simpointConfig())
+	cfg.SimPoint.MaxK = maxK
+	return a.SelectWith(ctx, cfg)
 }
 
 // VarianceSweep re-clusters the profiled slices at fixed k values and
-// returns the average within-cluster variance per k (Figure 4).
+// returns the average within-cluster variance per k (Figure 4). The sweep
+// is a k-means property, so it always runs the SimPoint parameterisation
+// regardless of the configured selector.
 func (a *Analysis) VarianceSweep(ctx context.Context, ks []int) (map[int]float64, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -297,7 +338,7 @@ func (a *Analysis) VarianceSweep(ctx context.Context, ks []int) (map[int]float64
 	_, span := obs.Start(ctx, "variance_sweep",
 		obs.String("bench", a.Prog.Name), obs.Int("ks", len(ks)))
 	defer span.End()
-	return simpoint.VarianceSweep(a.Slices, ks, a.Config.simpointConfig())
+	return simpoint.VarianceSweep(a.Slices, ks, selector.SimPointParams(a.Config.selectorConfig()))
 }
 
 // WholePinball returns the whole-execution checkpoint.

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"specsampling/internal/selector"
+	"specsampling/internal/workload"
+)
+
+// TestSelectWithBackends re-selects one profiled benchmark with every
+// registered backend and checks the shared contract end to end through the
+// core API: points exist, weights sum to 1, and the regions cut into valid
+// pinballs.
+func TestSelectWithBackends(t *testing.T) {
+	an := analyzeBench(t, "505.mcf_r")
+	for _, name := range selector.Names() {
+		cfg := an.Config
+		cfg.Selector = name
+		res, err := an.SelectWith(tctx, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.NumPoints() == 0 {
+			t.Fatalf("%s: no points", name)
+		}
+		if math.Abs(res.WeightTotal()-1) > 1e-9 {
+			t.Errorf("%s: weights sum to %v", name, res.WeightTotal())
+		}
+		if res.SampledInstrs() > an.TotalInstrs {
+			t.Errorf("%s: sampled %d > total %d", name, res.SampledInstrs(), an.TotalInstrs)
+		}
+		if _, err := an.Pinballs(res, 0); err != nil {
+			t.Errorf("%s: pinballs: %v", name, err)
+		}
+	}
+}
+
+// TestSelectWithSimpointMatchesAnalyze pins the refactor's bit-identity:
+// re-selecting with the analysis's own (simpoint) configuration reproduces
+// Analyze's stored Result exactly.
+func TestSelectWithSimpointMatchesAnalyze(t *testing.T) {
+	an := analyzeBench(t, "520.omnetpp_r")
+	res, err := an.SelectWith(tctx, an.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, an.Result) {
+		t.Fatalf("SelectWith differs from Analyze result:\n got: %+v\nwant: %+v", res, an.Result)
+	}
+}
+
+// TestClusterKeySelectorNamespacing checks the redesigned ClusterKey: the
+// version salt is present, and distinct backends or backend knobs always
+// derive distinct keys (no silent cache aliasing).
+func TestClusterKeySelectorNamespacing(t *testing.T) {
+	base := DefaultConfig(workload.ScaleSmall)
+	keys := map[string]string{}
+	add := func(label string, cfg Config) {
+		k := cfg.ClusterKey("505.mcf_r")
+		id := k.Kind + "|" + k.Bench
+		for _, p := range k.Parts {
+			id += "|" + p
+		}
+		if prev, dup := keys[id]; dup {
+			t.Errorf("%s aliases %s: %s", label, prev, id)
+		}
+		keys[id] = label
+	}
+	add("simpoint", base)
+	for _, mut := range []struct {
+		label string
+		f     func(*Config)
+	}{
+		{"stratified", func(c *Config) { c.Selector = "stratified" }},
+		{"rankedset", func(c *Config) { c.Selector = "rankedset" }},
+		{"simpoint maxk", func(c *Config) { c.SimPoint.MaxK = 7 }},
+		{"stratified budget", func(c *Config) { c.Selector = "stratified"; c.Stratified.Budget = 11 }},
+		{"rankedset cycles", func(c *Config) { c.Selector = "rankedset"; c.RankedSet.Cycles = 9 }},
+		{"seed", func(c *Config) { c.Seed = 99 }},
+	} {
+		cfg := base
+		mut.f(&cfg)
+		add(mut.label, cfg)
+	}
+	k := base.ClusterKey("505.mcf_r")
+	foundSalt := false
+	for _, p := range k.Parts {
+		if p == "ckv=2" {
+			foundSalt = true
+		}
+	}
+	if !foundSalt {
+		t.Errorf("ClusterKey parts %v missing ckv=2 version salt", k.Parts)
+	}
+}
+
+// TestAnalyzeUnknownSelector pins the fail-fast error path.
+func TestAnalyzeUnknownSelector(t *testing.T) {
+	spec, err := workload.ByName("505.mcf_r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(workload.ScaleSmall)
+	cfg.Selector = "nope"
+	if _, err := Analyze(tctx, spec, cfg); err == nil {
+		t.Fatal("unknown selector accepted")
+	}
+}

@@ -17,9 +17,10 @@ import (
 func figureSnapshot(t *testing.T, workers int) string {
 	t.Helper()
 	r, err := New(Options{
-		Scale:      workload.ScaleSmall,
-		Benchmarks: []string{"520.omnetpp_r", "505.mcf_r", "503.bwaves_r"},
-		Workers:    workers,
+		Scale:           workload.ScaleSmall,
+		Benchmarks:      []string{"520.omnetpp_r", "505.mcf_r", "503.bwaves_r"},
+		Workers:         workers,
+		ShootoutRepeats: 2,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -71,15 +72,20 @@ func figureSnapshot(t *testing.T, workers int) string {
 	if err != nil {
 		t.Fatal(err)
 	}
+	shootout, err := r.Shootout(tctx)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	blob, err := json.Marshal(map[string]interface{}{
-		"tableII": tableII,
-		"fig5":    fig5,
-		"fig6":    fig6,
-		"fig7":    fig7,
-		"fig8":    fig8,
-		"fig9":    fig9,
-		"fig12":   fig12,
+		"tableII":  tableII,
+		"fig5":     fig5,
+		"fig6":     fig6,
+		"fig7":     fig7,
+		"fig8":     fig8,
+		"fig9":     fig9,
+		"fig12":    fig12,
+		"shootout": shootout,
 	})
 	if err != nil {
 		t.Fatal(err)

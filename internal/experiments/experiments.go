@@ -23,6 +23,7 @@ import (
 	"specsampling/internal/core"
 	"specsampling/internal/obs"
 	"specsampling/internal/sched"
+	"specsampling/internal/selector"
 	"specsampling/internal/store"
 	"specsampling/internal/timing"
 	"specsampling/internal/workload"
@@ -52,13 +53,31 @@ type Options struct {
 	// so a Store only changes wall-clock time — and makes interrupted runs
 	// resumable.
 	Store *store.Store
+	// Selector names the region-selection backend every experiment runs
+	// with; empty means selector.DefaultName ("simpoint"). The shoot-out
+	// experiment ignores this and runs every registered backend.
+	Selector string
+	// ShootoutRepeats is the number of repeated-subsampling runs (shifted
+	// seeds) behind the shoot-out's confidence intervals; <= 0 uses
+	// DefaultShootoutRepeats, and values below 2 are raised to 2 (a CI
+	// needs at least two observations).
+	ShootoutRepeats int
 }
+
+// DefaultShootoutRepeats is the shoot-out's repeated-subsampling count.
+const DefaultShootoutRepeats = 5
 
 // Normalize resolves zero values to their documented defaults. Idempotent;
 // New calls it, so sparse literals are safe.
 func (o Options) Normalize() Options {
 	if o.Scale.Name == "" {
 		o.Scale = workload.ScaleMedium
+	}
+	if o.ShootoutRepeats <= 0 {
+		o.ShootoutRepeats = DefaultShootoutRepeats
+	}
+	if o.ShootoutRepeats < 2 {
+		o.ShootoutRepeats = 2
 	}
 	return o
 }
@@ -83,6 +102,7 @@ type Runner struct {
 	analyses sched.Group[string, *core.Analysis]
 	wholeC   sched.Group[string, core.CacheProfile]
 	wholeM   sched.Group[string, core.MixProfile]
+	wholeP   sched.Group[string, core.CPIProfile]
 	fig8     sched.Group[struct{}, *Fig8Result]
 }
 
@@ -103,19 +123,26 @@ func New(opts Options) (*Runner, error) {
 	}
 	cfg := core.DefaultConfig(opts.Scale)
 	cfg.Workers = opts.Workers
+	cfg.Selector = opts.Selector
+	cfg = cfg.Normalize()
+	// Resolve the selector now so an unknown name fails at construction,
+	// not deep inside the first analysis.
+	if _, err := selector.ByName(cfg.Selector); err != nil {
+		return nil, err
+	}
 	return &Runner{opts: opts, specs: specs, cfg: cfg, store: opts.Store}, nil
 }
 
 // Config returns the unified analysis configuration the runner hands to
-// core.Analyze (scale, MaxK, BIC threshold, seed, worker budget).
+// core.Analyze (scale, selector, seed, worker budget).
 func (r *Runner) Config() core.Config { return r.cfg }
 
 // Describe summarises the run configuration in one line — the header the
 // paper-scale tools print before starting work.
 func (r *Runner) Describe() string {
-	return fmt.Sprintf("scale=%s slice=%d maxk=%d seed=%d workers=%d benchmarks=%d",
-		r.opts.Scale.Name, r.opts.Scale.SliceLen, r.cfg.MaxK, r.cfg.Seed,
-		r.workers(), len(r.specs))
+	return fmt.Sprintf("scale=%s slice=%d selector=%s maxk=%d seed=%d workers=%d benchmarks=%d",
+		r.opts.Scale.Name, r.opts.Scale.SliceLen, r.cfg.Selector, r.cfg.SimPoint.MaxK,
+		r.cfg.Seed, r.workers(), len(r.specs))
 }
 
 // Scale returns the runner's workload scale.
@@ -207,6 +234,24 @@ func (r *Runner) wholeMix(ctx context.Context, an *core.Analysis) core.MixProfil
 	return mp
 }
 
+// wholeCPI returns (and caches) the benchmark's whole-run CPI — the
+// ground truth the shoot-out scores every selector against.
+func (r *Runner) wholeCPI(ctx context.Context, an *core.Analysis) (core.CPIProfile, error) {
+	return r.wholeP.Do(ctx, an.Spec.Name, func() (core.CPIProfile, error) {
+		key := r.wholeKey("whole_cpi", an.Spec.Name)
+		var p core.CPIProfile
+		if r.store.Get(ctx, key, &p) {
+			return p, nil
+		}
+		p, err := an.WholeCPI(ctx, r.TimingConfig())
+		if err != nil {
+			return p, err
+		}
+		_ = r.store.Put(ctx, key, p) // cache write failure must not fail the run
+		return p, nil
+	})
+}
+
 // printf writes to the configured output.
 func (r *Runner) printf(format string, args ...interface{}) {
 	if r.opts.Out == nil {
@@ -221,14 +266,15 @@ func IDs() []string {
 		"tableI", "tableII", "tableIII",
 		"fig3a", "fig3b", "fig4", "fig5", "fig6",
 		"fig7", "fig8", "fig9", "fig10", "fig12",
+		"shootout",
 	}
 }
 
 // prewarmNeeds describes what one benchmark needs before the requested
 // experiments can run without recomputing anything.
 type prewarmNeeds struct {
-	spec       workload.Spec
-	mix, cache bool
+	spec            workload.Spec
+	mix, cache, cpi bool
 }
 
 // Prewarm precomputes, in parallel across the worker budget, every
@@ -239,11 +285,11 @@ type prewarmNeeds struct {
 // parallel and the caches are singleflight either way — but it front-loads
 // the dominant cost into one suite-wide fan-out.
 func (r *Runner) Prewarm(ctx context.Context, ids ...string) error {
-	var suite, suiteMix, suiteCache, fig3 bool
+	var suite, suiteMix, suiteCache, suiteCPI, fig3 bool
 	for _, id := range ids {
 		switch id {
 		case "all":
-			suite, suiteMix, suiteCache, fig3 = true, true, true, true
+			suite, suiteMix, suiteCache, suiteCPI, fig3 = true, true, true, true, true
 		case "tableII", "fig4", "fig5", "fig6", "fig12":
 			suite = true
 		case "fig7":
@@ -252,6 +298,8 @@ func (r *Runner) Prewarm(ctx context.Context, ids ...string) error {
 			suite, suiteCache = true, true
 		case "fig9":
 			suite, suiteMix, suiteCache = true, true, true
+		case "shootout":
+			suite, suiteMix, suiteCache, suiteCPI = true, true, true, true
 		case "fig3a", "fig3b":
 			fig3 = true
 		case "tableI", "tableIII":
@@ -264,7 +312,7 @@ func (r *Runner) Prewarm(ctx context.Context, ids ...string) error {
 	var jobs []prewarmNeeds
 	if suite {
 		for _, spec := range r.specs {
-			jobs = append(jobs, prewarmNeeds{spec: spec, mix: suiteMix, cache: suiteCache})
+			jobs = append(jobs, prewarmNeeds{spec: spec, mix: suiteMix, cache: suiteCache, cpi: suiteCPI})
 		}
 	}
 	if fig3 {
@@ -292,11 +340,17 @@ func (r *Runner) Prewarm(ctx context.Context, ids ...string) error {
 		if job.mix {
 			r.wholeMix(ctx, an)
 		}
-		if !job.cache {
-			return nil
+		if job.cache {
+			if _, err := r.wholeCache(ctx, an); err != nil {
+				return err
+			}
 		}
-		_, err = r.wholeCache(ctx, an)
-		return err
+		if job.cpi {
+			if _, err := r.wholeCPI(ctx, an); err != nil {
+				return err
+			}
+		}
+		return nil
 	})
 }
 
@@ -348,6 +402,9 @@ func (r *Runner) Run(ctx context.Context, id string) error {
 			return err
 		case "fig12":
 			_, err := r.Fig12(ctx)
+			return err
+		case "shootout":
+			_, err := r.Shootout(ctx)
 			return err
 		default:
 			return fmt.Errorf("experiments: unknown experiment %q (want one of %v or all)", id, IDs())

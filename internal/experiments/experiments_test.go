@@ -60,7 +60,7 @@ func TestRunUnknownID(t *testing.T) {
 func TestIDsCoverEveryExperiment(t *testing.T) {
 	ids := IDs()
 	want := []string{"tableI", "tableII", "tableIII", "fig3a", "fig3b", "fig4",
-		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig12"}
+		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig12", "shootout"}
 	if len(ids) != len(want) {
 		t.Fatalf("IDs() = %v", ids)
 	}

@@ -142,6 +142,12 @@ func (r *Runner) RunRecorded(ctx context.Context, id string, report *Report) err
 				report.Record(id, res)
 			}
 			return err
+		case "shootout":
+			res, err := r.Shootout(ctx)
+			if err == nil {
+				report.Record(id, res)
+			}
+			return err
 		default:
 			return fmt.Errorf("experiments: unknown experiment %q (want one of %v or all)", id, IDs())
 		}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"specsampling/internal/selector"
+	"specsampling/internal/workload"
+)
+
+// TestShootoutShape runs the cross-selector harness on a small sub-suite
+// and checks the result grid: every registered backend appears with a cell
+// per benchmark plus a suite summary, errors are finite and non-negative,
+// and the repeated-subsampling count feeds the CIs.
+func TestShootoutShape(t *testing.T) {
+	var out bytes.Buffer
+	r, err := New(Options{
+		Scale:           workload.ScaleSmall,
+		Benchmarks:      []string{"505.mcf_r", "503.bwaves_r"},
+		Out:             &out,
+		ShootoutRepeats: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Shootout(tctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := selector.Names()
+	if len(res.Selectors) != len(names) {
+		t.Fatalf("Selectors = %v, want %v", res.Selectors, names)
+	}
+	if res.Repeats != 2 {
+		t.Errorf("Repeats = %d, want 2", res.Repeats)
+	}
+	if len(res.Rows) != 2 || len(res.Suite) != len(names) {
+		t.Fatalf("grid is %d rows x %d suite cells", len(res.Rows), len(res.Suite))
+	}
+	for _, row := range res.Rows {
+		if len(row.Cells) != len(names) {
+			t.Fatalf("%s: %d cells, want %d", row.Benchmark, len(row.Cells), len(names))
+		}
+		for s, cell := range row.Cells {
+			if cell.Selector != names[s] {
+				t.Errorf("%s: cell %d is %q, want %q", row.Benchmark, s, cell.Selector, names[s])
+			}
+			if cell.Points.Mean <= 0 {
+				t.Errorf("%s/%s: no points", row.Benchmark, cell.Selector)
+			}
+			if cell.SampledPct.Mean <= 0 || cell.SampledPct.Mean > 100 {
+				t.Errorf("%s/%s: sampled %% = %v", row.Benchmark, cell.Selector, cell.SampledPct.Mean)
+			}
+			for what, est := range map[string]ShootoutEstimate{
+				"cpi": cell.CPIErrPct, "l1d": cell.L1DErrPP, "l2": cell.L2ErrPP,
+				"l3": cell.L3ErrPP, "mix": cell.MixErrPP,
+			} {
+				if est.Mean < 0 || est.CI95 < 0 {
+					t.Errorf("%s/%s: negative %s estimate %+v", row.Benchmark, cell.Selector, what, est)
+				}
+			}
+		}
+	}
+	text := out.String()
+	for _, want := range append([]string{"Selector shoot-out", "CPI err %"}, names...) {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+// TestRunnerRejectsUnknownSelector pins the fail-fast contract: a bad
+// -selector value must error at construction, before any work.
+func TestRunnerRejectsUnknownSelector(t *testing.T) {
+	if _, err := New(Options{Selector: "nope"}); err == nil {
+		t.Fatal("unknown selector accepted")
+	}
+}
+
+// TestRunnerSelectorPropagates checks the runner threads Options.Selector
+// into the analysis configuration (and so into every cache key).
+func TestRunnerSelectorPropagates(t *testing.T) {
+	r, err := New(Options{Selector: "stratified"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Config().Selector; got != "stratified" {
+		t.Fatalf("Config().Selector = %q", got)
+	}
+	k := r.Config().ClusterKey("505.mcf_r")
+	found := false
+	for _, p := range k.Parts {
+		if p == "selector=stratified" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ClusterKey parts %v missing selector part", k.Parts)
+	}
+}

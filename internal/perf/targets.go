@@ -39,6 +39,16 @@ func Targets() []Target {
 			Pattern: "^BenchmarkAblation",
 			Record:  false,
 		},
+		// The region-selection backends (internal/selector): the stratified
+		// and ranked-set Select kernels sit on the clustering stage's hot
+		// path for every shoot-out repeat, so their numbers join the
+		// recorded baseline.
+		{
+			Name:    "selector",
+			Pkg:     "./internal/selector",
+			Pattern: "^Benchmark(Stratified|RankedSet)Select$",
+			Record:  true,
+		},
 		// Micro benchmarks inside internal packages, including the
 		// BenchmarkObsOverhead disabled-path guard: smoke-only.
 		{

@@ -1,0 +1,42 @@
+package selector
+
+import (
+	"testing"
+)
+
+// BenchmarkStratifiedSelect times the stratified backend's hot loop
+// (phase-metric projection, sort, Neyman allocation, phase-2 draws) on a
+// profile-sized input. Recorded in BENCH_*.json via perf.Targets.
+func BenchmarkStratifiedSelect(b *testing.B) {
+	const sliceLen = 1000
+	slices, total := syntheticSlices(2000, 256, 6, sliceLen, 9)
+	s, err := ByName("stratified")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := testConfig(sliceLen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Select(tctx, "bench", slices, total, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRankedSetSelect times the ranked-set backend on the same input
+// (smoke-only; the per-draw pool refill dominates).
+func BenchmarkRankedSetSelect(b *testing.B) {
+	const sliceLen = 1000
+	slices, total := syntheticSlices(2000, 256, 6, sliceLen, 9)
+	s, err := ByName("rankedset")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := testConfig(sliceLen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Select(tctx, "bench", slices, total, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package selector
+
+// Per-backend configuration blocks. Each block is zero-value-safe: Normalize
+// resolves unset knobs to the backend's defaults, and Config.Normalize
+// normalises every block regardless of which backend runs, so sparse configs
+// and cache keys agree on the resolved values.
+
+import "specsampling/internal/simpoint"
+
+// Backend defaults. The SimPoint values restate the paper's choices from
+// package simpoint; the stratified and ranked-set values follow the NVIDIA
+// papers' small-budget regimes scaled to this reproduction's slice counts.
+const (
+	// DefaultStrata is the stratified backend's stratum count.
+	DefaultStrata = 8
+	// DefaultBudget is the stratified backend's total sample budget.
+	DefaultBudget = 30
+	// DefaultSetSize is the ranked-set backend's per-set size m.
+	DefaultSetSize = 5
+	// DefaultCycles is the ranked-set backend's repeated-subsampling cycles.
+	DefaultCycles = 6
+)
+
+// SimPointConfig configures the "simpoint" backend (the paper's pipeline).
+type SimPointConfig struct {
+	// MaxK is the cluster ceiling; <= 0 uses simpoint.DefaultMaxK (the
+	// paper settles on 35).
+	MaxK int
+	// BICThreshold is the SimPoint BIC fraction; <= 0 uses
+	// simpoint.DefaultBICThreshold (0.9).
+	BICThreshold float64
+}
+
+// Normalize resolves zero values to the paper's defaults. Idempotent.
+func (c SimPointConfig) Normalize() SimPointConfig {
+	if c.MaxK <= 0 {
+		c.MaxK = simpoint.DefaultMaxK
+	}
+	if c.BICThreshold <= 0 {
+		c.BICThreshold = simpoint.DefaultBICThreshold
+	}
+	return c
+}
+
+// StratifiedConfig configures the "stratified" backend.
+type StratifiedConfig struct {
+	// Strata is the number of equal-population strata over the phase
+	// metric; <= 0 uses DefaultStrata. Capped by the slice count.
+	Strata int
+	// Budget is the total number of slices sampled across all strata;
+	// <= 0 uses DefaultBudget. Capped by the slice count.
+	Budget int
+}
+
+// Normalize resolves zero values to the backend defaults. Idempotent.
+func (c StratifiedConfig) Normalize() StratifiedConfig {
+	if c.Strata <= 0 {
+		c.Strata = DefaultStrata
+	}
+	if c.Budget <= 0 {
+		c.Budget = DefaultBudget
+	}
+	return c
+}
+
+// RankedSetConfig configures the "rankedset" backend.
+type RankedSetConfig struct {
+	// SetSize is the ranked-set size m: each draw ranks m random slices
+	// and keeps one order statistic; <= 0 uses DefaultSetSize. Capped by
+	// the slice count.
+	SetSize int
+	// Cycles is the number of full rank sweeps (repeated subsampling);
+	// <= 0 uses DefaultCycles. The backend replays at most
+	// SetSize*Cycles distinct slices.
+	Cycles int
+}
+
+// Normalize resolves zero values to the backend defaults. Idempotent.
+func (c RankedSetConfig) Normalize() RankedSetConfig {
+	if c.SetSize <= 0 {
+		c.SetSize = DefaultSetSize
+	}
+	if c.Cycles <= 0 {
+		c.Cycles = DefaultCycles
+	}
+	return c
+}

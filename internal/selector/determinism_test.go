@@ -1,0 +1,89 @@
+package selector
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"specsampling/internal/simpoint"
+)
+
+// encodeResult serialises a Result for byte comparison. JSON rather than
+// gob: gob streams maps in iteration order, which would make the BIC map's
+// bytes nondeterministic even for identical values; JSON sorts map keys.
+func encodeResult(t *testing.T, r *simpoint.Result) []byte {
+	t.Helper()
+	enc, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+func assertResultsEqual(t *testing.T, got, want *simpoint.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("results differ:\n got: %+v\nwant: %+v", got, want)
+	}
+}
+
+// TestSelectorDeterminism is the golden determinism test per backend: a
+// fixed seed must yield a byte-identical Result for every worker count
+// (run under -race by make racesmoke). Result.Config.KMeans.Workers is the
+// one field that legitimately echoes the budget, so it is zeroed before the
+// byte comparison.
+func TestSelectorDeterminism(t *testing.T) {
+	const sliceLen = 1000
+	slices, total := syntheticSlices(150, 64, 4, sliceLen, 5)
+	for _, s := range All() {
+		t.Run(s.Name(), func(t *testing.T) {
+			var golden []byte
+			for _, workers := range []int{1, 2, 8} {
+				cfg := testConfig(sliceLen)
+				cfg.Workers = workers
+				res, err := s.Select(tctx, "synthetic", slices, total, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res.Config.KMeans.Workers = 0
+				enc := encodeResult(t, res)
+				if golden == nil {
+					golden = enc
+					continue
+				}
+				if !bytes.Equal(golden, enc) {
+					t.Fatalf("workers=%d: result differs from workers=1", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestSelectorSeedSensitivity checks the other side of determinism: a
+// different seed must actually change the sampling backends' selections
+// (the shoot-out's repeated subsampling depends on it).
+func TestSelectorSeedSensitivity(t *testing.T) {
+	const sliceLen = 1000
+	slices, total := syntheticSlices(150, 64, 4, sliceLen, 5)
+	for _, name := range []string{"stratified", "rankedset"} {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := testConfig(sliceLen)
+		shift := base
+		shift.Seed = base.Seed + 1
+		a, err := s.Select(tctx, "synthetic", slices, total, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s.Select(tctx, "synthetic", slices, total, shift)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(encodeResult(t, a), encodeResult(t, b)) {
+			t.Errorf("%s: identical selection under different seeds", name)
+		}
+	}
+}

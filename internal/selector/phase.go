@@ -1,0 +1,37 @@
+package selector
+
+import (
+	"context"
+
+	"specsampling/internal/bbv"
+	"specsampling/internal/sched"
+	"specsampling/internal/simpoint"
+)
+
+// phaseMetric computes the cheap phase-1 signature both sampling backends
+// rank and stratify by: each slice's L1-normalised BBV randomly projected to
+// a single dimension. One number per slice preserves enough phase structure
+// to order slices by behaviour (same family of projections SimPoint
+// clusters in 15 dimensions) at a fraction of the cost — the "cheap metric,
+// expensive simulation" split of the two-phase papers.
+//
+// The metric is a pure function of (slices, seed): the projection matrix is
+// seeded, and the parallel fill writes by slice index, so any worker count
+// produces identical output.
+func phaseMetric(ctx context.Context, slices []simpoint.Slice, seed uint64, workers int) ([]float64, error) {
+	proj, err := bbv.NewProjector(len(slices[0].BBV), 1, seed)
+	if err != nil {
+		return nil, err
+	}
+	metric := make([]float64, len(slices))
+	err = sched.ForEach(ctx, workers, len(slices), func(i int) error {
+		v := append([]float64(nil), slices[i].BBV...)
+		bbv.NormalizeL1(v)
+		metric[i] = proj.Project(v)[0]
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return metric, nil
+}

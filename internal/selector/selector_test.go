@@ -1,0 +1,199 @@
+package selector
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"specsampling/internal/program"
+	"specsampling/internal/rng"
+	"specsampling/internal/simpoint"
+)
+
+var tctx = context.Background()
+
+// syntheticSlices fabricates a profile with a few distinct phases: block
+// vectors cluster around per-phase templates with small seeded noise, the
+// same shape a real profile hands every backend.
+func syntheticSlices(n, blocks, phases int, sliceLen uint64, seed uint64) ([]simpoint.Slice, uint64) {
+	r := rng.New(seed)
+	templates := make([][]float64, phases)
+	for p := range templates {
+		templates[p] = make([]float64, blocks)
+		for b := range templates[p] {
+			templates[p][b] = r.Float64() * 100
+		}
+	}
+	slices := make([]simpoint.Slice, n)
+	var total uint64
+	for i := range slices {
+		phase := (i * phases) / n
+		v := make([]float64, blocks)
+		for b := range v {
+			v[b] = templates[phase][b] + r.Float64()
+		}
+		slices[i] = simpoint.Slice{
+			Index: i,
+			Start: program.State{Instrs: total},
+			Len:   sliceLen,
+			BBV:   v,
+		}
+		total += sliceLen
+	}
+	return slices, total
+}
+
+func testConfig(sliceLen uint64) Config {
+	return Config{SliceLen: sliceLen, Workers: 1}.Normalize()
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	want := []string{"rankedset", "simpoint", "stratified"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName(nope) succeeded")
+	}
+	def, err := ByName("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Name() != DefaultName {
+		t.Fatalf("ByName(\"\") = %q, want %q", def.Name(), DefaultName)
+	}
+	for _, s := range All() {
+		if len(s.Knobs()) == 0 {
+			t.Errorf("%s: no knobs documented", s.Name())
+		}
+		if len(s.KeyParts(testConfig(1000))) == 0 {
+			t.Errorf("%s: empty cache-key contribution", s.Name())
+		}
+	}
+}
+
+// TestSelectorInvariants checks the cross-backend contract: weights sum
+// to 1, every point replicates a profiled slice's exact coordinates, and
+// the sampled instruction total never exceeds the whole run.
+func TestSelectorInvariants(t *testing.T) {
+	const sliceLen = 1000
+	slices, total := syntheticSlices(200, 64, 4, sliceLen, 7)
+	cfg := testConfig(sliceLen)
+	for _, s := range All() {
+		t.Run(s.Name(), func(t *testing.T) {
+			res, err := s.Select(tctx, "synthetic", slices, total, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.NumPoints() == 0 {
+				t.Fatal("no points selected")
+			}
+			if w := res.WeightTotal(); math.Abs(w-1) > 1e-9 {
+				t.Errorf("WeightTotal = %v, want 1", w)
+			}
+			if res.SampledInstrs() > total {
+				t.Errorf("SampledInstrs %d > totalInstrs %d", res.SampledInstrs(), total)
+			}
+			if res.NumSlices != len(slices) {
+				t.Errorf("NumSlices = %d, want %d", res.NumSlices, len(slices))
+			}
+			last := -1
+			for i, pt := range res.Points {
+				if pt.SliceIndex <= last {
+					t.Fatalf("point %d: SliceIndex %d out of order (prev %d)", i, pt.SliceIndex, last)
+				}
+				last = pt.SliceIndex
+				if pt.SliceIndex < 0 || pt.SliceIndex >= len(slices) {
+					t.Fatalf("point %d: SliceIndex %d out of range", i, pt.SliceIndex)
+				}
+				src := slices[pt.SliceIndex]
+				if !pt.Start.Equal(src.Start) {
+					t.Errorf("point %d: Start mismatch", i)
+				}
+				if pt.Len != src.Len {
+					t.Errorf("point %d: Len = %d, want %d", i, pt.Len, src.Len)
+				}
+				if pt.Weight <= 0 || pt.Weight > 1 {
+					t.Errorf("point %d: weight %v out of (0,1]", i, pt.Weight)
+				}
+			}
+		})
+	}
+}
+
+// TestSelectorRejectsDegenerateInput checks the shared validation.
+func TestSelectorRejectsDegenerateInput(t *testing.T) {
+	slices, total := syntheticSlices(10, 8, 2, 100, 3)
+	for _, s := range All() {
+		if _, err := s.Select(tctx, "x", nil, 0, testConfig(100)); err == nil {
+			t.Errorf("%s: accepted empty slices", s.Name())
+		}
+		if _, err := s.Select(tctx, "x", slices, total, Config{}); err == nil {
+			t.Errorf("%s: accepted zero slice length", s.Name())
+		}
+	}
+}
+
+// TestKeyPartsDistinguishConfigs checks that changing any backend knob
+// changes that backend's cache-key contribution — the no-silent-aliasing
+// rule the cachekey analyzer enforces statically.
+func TestKeyPartsDistinguishConfigs(t *testing.T) {
+	base := testConfig(1000)
+	variants := map[string][]Config{}
+	add := func(name string, mut func(*Config)) {
+		c := base
+		mut(&c)
+		variants[name] = append(variants[name], c)
+	}
+	add("simpoint", func(c *Config) { c.SimPoint.MaxK = 7 })
+	add("simpoint", func(c *Config) { c.SimPoint.BICThreshold = 0.5 })
+	add("stratified", func(c *Config) { c.Stratified.Strata = 3 })
+	add("stratified", func(c *Config) { c.Stratified.Budget = 11 })
+	add("rankedset", func(c *Config) { c.RankedSet.SetSize = 2 })
+	add("rankedset", func(c *Config) { c.RankedSet.Cycles = 9 })
+	for _, s := range All() {
+		add(s.Name(), func(c *Config) { c.Seed = 99 })
+		baseKey := joined(s.KeyParts(base))
+		for i, v := range variants[s.Name()] {
+			if joined(s.KeyParts(v)) == baseKey {
+				t.Errorf("%s: variant %d has the same key parts as the base config", s.Name(), i)
+			}
+		}
+	}
+}
+
+func joined(parts []string) string {
+	out := ""
+	for _, p := range parts {
+		out += p + "\x00"
+	}
+	return out
+}
+
+// TestSimPointSelectorMatchesCluster pins the bit-identity guarantee: the
+// simpoint backend routed through the Selector interface must produce the
+// exact Result the pre-interface simpoint.Cluster call produced.
+func TestSimPointSelectorMatchesCluster(t *testing.T) {
+	const sliceLen = 1000
+	slices, total := syntheticSlices(120, 64, 3, sliceLen, 11)
+	cfg := testConfig(sliceLen)
+	sel, err := ByName("simpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sel.Select(tctx, "synthetic", slices, total, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := simpoint.Cluster("synthetic", slices, total, SimPointParams(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsEqual(t, got, want)
+}

@@ -1,0 +1,191 @@
+package selector
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"specsampling/internal/rng"
+	"specsampling/internal/simpoint"
+	"specsampling/internal/stats"
+)
+
+func init() { Register(stratifiedSelector{}) }
+
+// stratifiedSelector implements two-phase stratified sampling (after "CPU
+// Simulation Using Two-Phase Stratified Sampling", PAPERS.md): phase 1
+// computes a cheap metric per slice; slices are sorted by the metric and cut
+// into equal-population strata; a fixed simulation budget is spread across
+// strata by Neyman allocation (proportional to stratum size times
+// within-stratum metric spread); phase 2 simple-random-samples each
+// stratum's allocation. Every sampled slice carries its stratum's
+// population share divided by the stratum's sample count, so the weighted
+// aggregation downstream is the classic stratified estimator.
+type stratifiedSelector struct{}
+
+func (stratifiedSelector) Name() string { return "stratified" }
+
+func (stratifiedSelector) Select(ctx context.Context, benchmark string, slices []simpoint.Slice, totalInstrs uint64, cfg Config) (*simpoint.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.Normalize()
+	if err := validate(slices, cfg); err != nil {
+		return nil, err
+	}
+	metric, err := phaseMetric(ctx, slices, cfg.Seed, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+
+	n := len(slices)
+	budget := cfg.Stratified.Budget
+	if budget > n {
+		budget = n
+	}
+	nStrata := cfg.Stratified.Strata
+	if nStrata > budget {
+		nStrata = budget
+	}
+
+	// Order slices by metric (ties break on index so the layout is a pure
+	// function of the profile) and cut the order into equal-population
+	// strata.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if metric[order[a]] != metric[order[b]] {
+			return metric[order[a]] < metric[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	strata := make([][]int, nStrata)
+	for h := range strata {
+		strata[h] = order[h*n/nStrata : (h+1)*n/nStrata]
+	}
+
+	alloc := neymanAlloc(strata, metric, budget)
+
+	// Phase 2: simple random sample within each stratum (partial
+	// Fisher-Yates over a copy of the member list). Strata are processed in
+	// order off one seeded generator, so the draw sequence is deterministic.
+	r := rng.New(cfg.Seed)
+	var pts []simpoint.Point
+	var wcss float64
+	for h, members := range strata {
+		pool := append([]int(nil), members...)
+		for j := 0; j < alloc[h]; j++ {
+			k := j + r.Intn(len(pool)-j)
+			pool[j], pool[k] = pool[k], pool[j]
+		}
+		chosen := pool[:alloc[h]]
+		sort.Ints(chosen)
+		w := float64(len(members)) / float64(n) / float64(alloc[h])
+		for _, i := range chosen {
+			s := slices[i]
+			pts = append(pts, simpoint.Point{
+				SliceIndex: s.Index,
+				Start:      s.Start,
+				Len:        s.Len,
+				Weight:     w,
+				Cluster:    h,
+			})
+		}
+		mean := stratumMean(members, metric)
+		for _, i := range members {
+			d := metric[i] - mean
+			wcss += d * d
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].SliceIndex < pts[j].SliceIndex })
+
+	return &simpoint.Result{
+		Benchmark:          benchmark,
+		Config:             stratifiedSelector{}.EchoConfig(cfg),
+		NumSlices:          n,
+		TotalInstrs:        totalInstrs,
+		Points:             pts,
+		AvgClusterVariance: wcss / float64(n),
+	}, nil
+}
+
+// neymanAlloc spreads budget across strata proportionally to
+// N_h·σ_h (stratum size times within-stratum metric standard deviation),
+// the variance-minimising Neyman allocation. Every stratum gets at least
+// one sample and never more than its population; the remaining seats go
+// one at a time to the stratum with the highest priority-per-seat
+// (D'Hondt rounding — deterministic, ties to the lower stratum). When the
+// metric is flat everywhere the priorities degrade to stratum sizes, i.e.
+// proportional allocation.
+func neymanAlloc(strata [][]int, metric []float64, budget int) []int {
+	prio := make([]float64, len(strata))
+	var sum float64
+	for h, members := range strata {
+		vals := make([]float64, len(members))
+		for j, i := range members {
+			vals[j] = metric[i]
+		}
+		prio[h] = float64(len(members)) * stats.StdDev(vals)
+		sum += prio[h]
+	}
+	if sum == 0 {
+		for h, members := range strata {
+			prio[h] = float64(len(members))
+		}
+	}
+	alloc := make([]int, len(strata))
+	for h := range alloc {
+		alloc[h] = 1
+	}
+	for seats := budget - len(strata); seats > 0; seats-- {
+		best, bestP := -1, 0.0
+		for h := range strata {
+			if alloc[h] >= len(strata[h]) {
+				continue
+			}
+			if p := prio[h] / float64(alloc[h]); best < 0 || p > bestP {
+				best, bestP = h, p
+			}
+		}
+		if best < 0 {
+			break
+		}
+		alloc[best]++
+	}
+	return alloc
+}
+
+func stratumMean(members []int, metric []float64) float64 {
+	var sum float64
+	for _, i := range members {
+		sum += metric[i]
+	}
+	return sum / float64(len(members))
+}
+
+// KeyParts covers the fields Select reads: the seed (metric projection and
+// phase-2 draws) and the Stratified block. SliceLen is already in the
+// ProfileKey prefix the caller extends.
+func (stratifiedSelector) KeyParts(cfg Config) []string {
+	cfg = cfg.Normalize()
+	return []string{
+		fmt.Sprintf("seed=%d", cfg.Seed),
+		fmt.Sprintf("strata=%d", cfg.Stratified.Strata),
+		fmt.Sprintf("budget=%d", cfg.Stratified.Budget),
+	}
+}
+
+func (stratifiedSelector) EchoConfig(cfg Config) simpoint.Config {
+	return SimPointParams(cfg)
+}
+
+func (stratifiedSelector) Knobs() []Knob {
+	return []Knob{
+		{Name: "Stratified.Strata", Default: fmt.Sprint(DefaultStrata),
+			Doc: "equal-population strata over the phase metric"},
+		{Name: "Stratified.Budget", Default: fmt.Sprint(DefaultBudget),
+			Doc: "total slices sampled across all strata (Neyman allocation)"},
+	}
+}

@@ -62,6 +62,38 @@ func Variance(values []float64) float64 {
 // StdDev returns the population standard deviation.
 func StdDev(values []float64) float64 { return math.Sqrt(Variance(values)) }
 
+// tTable95 holds two-sided 95 % Student-t critical values by degrees of
+// freedom (index 1..30); larger samples use the normal 1.96.
+var tTable95 = [...]float64{0,
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// CI95 returns the half-width of the 95 % confidence interval on the mean
+// of values — Student-t with n-1 degrees of freedom over the sample
+// standard deviation, the small-sample interval the repeated-subsampling
+// papers report. It returns 0 for fewer than 2 values (no spread to
+// estimate).
+func CI95(values []float64) float64 {
+	n := len(values)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(values)
+	var sum float64
+	for _, v := range values {
+		d := v - m
+		sum += d * d
+	}
+	sd := math.Sqrt(sum / float64(n-1))
+	t := 1.96
+	if dof := n - 1; dof < len(tTable95) {
+		t = tTable95[dof]
+	}
+	return t * sd / math.Sqrt(float64(n))
+}
+
 // AbsError returns |measured - reference|.
 func AbsError(measured, reference float64) float64 {
 	return math.Abs(measured - reference)

@@ -6,6 +6,7 @@ package textplot
 import (
 	"fmt"
 	"strings"
+	"unicode/utf8"
 )
 
 // Table accumulates rows and renders them with aligned columns.
@@ -47,16 +48,17 @@ func (t *Table) AddRowf(cells ...interface{}) {
 	t.AddRow(out...)
 }
 
-// String renders the table.
+// String renders the table. Column widths count runes, not bytes, so cells
+// with multibyte characters (the shoot-out's ± intervals) stay aligned.
 func (t *Table) String() string {
 	widths := make([]int, len(t.header))
 	for i, h := range t.header {
-		widths[i] = len(h)
+		widths[i] = utf8.RuneCountInString(h)
 	}
 	for _, row := range t.rows {
 		for i, c := range row {
-			if len(c) > widths[i] {
-				widths[i] = len(c)
+			if n := utf8.RuneCountInString(c); n > widths[i] {
+				widths[i] = n
 			}
 		}
 	}
@@ -67,7 +69,7 @@ func (t *Table) String() string {
 				b.WriteString("  ")
 			}
 			b.WriteString(c)
-			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			b.WriteString(strings.Repeat(" ", widths[i]-utf8.RuneCountInString(c)))
 		}
 		b.WriteString("\n")
 	}
