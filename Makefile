@@ -1,16 +1,17 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check vet lint fmtcheck build test race racesmoke bench benchsmoke benchdiff benchrecord cachesmoke shootoutsmoke
+.PHONY: check vet lint fmtcheck build test race racesmoke bench benchsmoke benchdiff benchrecord cachesmoke shootoutsmoke servesmoke
 
 ## check: the pre-commit gate — gofmt, vet, the project's own static
 ## analysis (speclint), build, the full test suite, the determinism tests
 ## under -race, a single-iteration pass over every benchmark (including the
 ## obs overhead guard), a warm-cache smoke run of the persistent store, a
-## cross-selector shoot-out smoke, and the performance-regression gate
+## cross-selector shoot-out smoke, the daemon smoke (dedup, streaming,
+## byte-identity, SIGTERM drain), and the performance-regression gate
 ## against the committed BENCH_*.json baseline (skipped on hosts without
 ## one).
-check: fmtcheck vet lint build test racesmoke benchsmoke cachesmoke shootoutsmoke benchdiff
+check: fmtcheck vet lint build test racesmoke benchsmoke cachesmoke shootoutsmoke servesmoke benchdiff
 
 vet:
 	$(GO) vet ./...
@@ -41,7 +42,9 @@ racesmoke:
 	$(GO) test -race -run 'TestRunIdenticalAcrossWorkerCounts|TestRunIdenticalAcrossRepeats|TestBestKIdenticalAcrossWorkerCounts|TestBestKWeightedIdenticalAcrossWorkerCounts|TestBoundedMatchesPlain|TestBestKBoundedMatchesPlain' ./internal/kmeans
 	$(GO) test -race -run 'TestFiguresIdenticalAcrossWorkerCounts|TestResumeAfterCancelledRun|TestCorruptCacheEntriesDegradeToRecompute' ./internal/experiments
 	$(GO) test -race -run 'TestReplayerReusedMatchesFresh|TestReplaySuiteMatchesReplayAll|TestReplayAllParallelMatchesSequential' ./internal/pinball
-	$(GO) test -race -run 'TestForEachSharded' ./internal/sched
+	$(GO) test -race -run 'TestForEachSharded|TestGroupDoCancelledComputerDoesNotPoisonWaiters|TestQueue' ./internal/sched
+	$(GO) test -race -run 'TestJSONLSinkConcurrentJobsDoNotTearLines|TestScopedSinksReceiveOnlyTheirJob' ./internal/obs
+	$(GO) test -race -run 'TestLoadSmoke|TestDedupIdenticalConfigs|TestAdmissionAndLoadShedding' ./internal/serve
 	$(GO) test -race -run 'TestSelectorDeterminism|TestSelectorInvariants' ./internal/selector
 
 ## bench: one testing.B benchmark per paper table/figure, single iteration.
@@ -83,6 +86,48 @@ shootoutsmoke:
 		echo "shootoutsmoke: no confidence intervals in report"; \
 		echo "$$out"; exit 1; }; \
 	echo "shootoutsmoke: all backends reported with CIs"
+
+## servesmoke: the daemon end to end — start specsimd on an ephemeral port,
+## submit two identical jobs plus one distinct job, and assert: the
+## duplicate deduplicates to the first job (no third job appears, the
+## serve.dedup counter fires), the events feed streams parseable JSONL
+## progress, the result bytes are identical to `cmd/experiments -json` for
+## the same configuration computed in a separate cache, and SIGTERM drains
+## the daemon cleanly (exit 0).
+servesmoke:
+	@dir="$$(mktemp -d)"; set -e; \
+	trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) build -o "$$dir/specsimd" ./cmd/specsimd; \
+	"$$dir/specsimd" -addr 127.0.0.1:0 -cache-dir "$$dir/cache" -metrics \
+		2>"$$dir/daemon.log" & pid=$$!; \
+	addr=""; for i in $$(seq 1 100); do \
+		addr="$$(sed -n 's/^specsimd: listening on \([0-9.:]*\).*/\1/p' "$$dir/daemon.log")"; \
+		[ -n "$$addr" ] && break; sleep 0.1; done; \
+	[ -n "$$addr" ] || { echo "servesmoke: daemon did not start"; cat "$$dir/daemon.log"; kill $$pid; exit 1; }; \
+	body='{"run":"tableII","scale":"small","benchmarks":["505.mcf_r","541.leela_r"]}'; \
+	curl -fsS -d "$$body" "$$addr/v1/jobs" >"$$dir/sub1.json"; \
+	curl -fsS -d "$$body" "$$addr/v1/jobs" >"$$dir/sub2.json"; \
+	curl -fsS -d '{"run":"tableIII","scale":"small"}' "$$addr/v1/jobs" >"$$dir/sub3.json"; \
+	id1="$$(sed -n 's/.*"id": "\([^"]*\)".*/\1/p' "$$dir/sub1.json")"; \
+	id2="$$(sed -n 's/.*"id": "\([^"]*\)".*/\1/p' "$$dir/sub2.json")"; \
+	[ "$$id1" = "$$id2" ] || { echo "servesmoke: identical submissions got distinct jobs ($$id1 vs $$id2)"; exit 1; }; \
+	grep -q '"dedup": true' "$$dir/sub2.json" || { echo "servesmoke: duplicate not marked dedup"; cat "$$dir/sub2.json"; exit 1; }; \
+	curl -fsS "$$addr/v1/jobs/$$id1/events" >"$$dir/events.jsonl"; \
+	grep -q '"stage":"analyze"' "$$dir/events.jsonl" || { echo "servesmoke: no analyze progress in events"; cat "$$dir/events.jsonl"; exit 1; }; \
+	curl -fsS "$$addr/v1/jobs" >"$$dir/jobs.json"; \
+	n="$$(grep -c '"id": ' "$$dir/jobs.json")"; \
+	[ "$$n" = "2" ] || { echo "servesmoke: expected 2 jobs after dedup, saw $$n"; exit 1; }; \
+	for i in $$(seq 1 300); do \
+		curl -fsS "$$addr/v1/jobs/$$id1" | grep -q '"state": "done"' && break; sleep 0.1; done; \
+	curl -fsS "$$addr/v1/jobs/$$id1/result" >"$$dir/daemon.json"; \
+	$(GO) run ./cmd/experiments -run tableII -scale small \
+		-bench 505.mcf_r,541.leela_r -cache-dir "$$dir/cache2" \
+		-json "$$dir/cli.json" >/dev/null; \
+	cmp "$$dir/daemon.json" "$$dir/cli.json" || { echo "servesmoke: daemon result differs from cmd/experiments"; exit 1; }; \
+	kill -TERM $$pid; wait $$pid || { echo "servesmoke: daemon exited non-zero after SIGTERM"; cat "$$dir/daemon.log"; exit 1; }; \
+	grep -q 'drained; bye' "$$dir/daemon.log" || { echo "servesmoke: no clean drain"; cat "$$dir/daemon.log"; exit 1; }; \
+	grep -A4 '"serve.dedup"' "$$dir/daemon.log" | grep -q '"value"' || { echo "servesmoke: serve.dedup counter never fired"; exit 1; }; \
+	echo "servesmoke: dedup, streaming, byte-identity and drain all verified"
 
 ## cachesmoke: the persistent artifact store end to end — run the same
 ## experiment twice into a fresh cache dir; the second run must be served

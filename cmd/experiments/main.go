@@ -29,7 +29,8 @@
 // deterministically — in-flight benchmarks finish their current slice, the
 // process reports "interrupted" on stderr and exits with status 130
 // (128+SIGINT), and a later run with the same -cache-dir resumes from the
-// completed stages.
+// completed stages. Mistyped flag values (unknown -run, -scale, -bench or
+// -selector) are usage errors and exit with status 2.
 package main
 
 import (
@@ -43,6 +44,7 @@ import (
 	"strings"
 	"time"
 
+	"specsampling/internal/cli"
 	"specsampling/internal/experiments"
 	"specsampling/internal/obs"
 	"specsampling/internal/selector"
@@ -56,21 +58,12 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if err := run(ctx, os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
+		if !errors.Is(err, flag.ErrHelp) && !cli.Reported(err) {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		}
 		stop()
-		os.Exit(exitCode(err))
+		os.Exit(cli.ExitCode(err))
 	}
-}
-
-// exitCode maps a run error to the process exit status. A resumable
-// pipeline makes "interrupted" a normal, reportable state rather than a
-// generic failure: SIGINT cancellation exits with 130 (128+SIGINT, the
-// shell convention), every other failure with 1.
-func exitCode(err error) int {
-	if errors.Is(err, context.Canceled) {
-		return 130
-	}
-	return 1
 }
 
 func run(ctx context.Context, args []string) error {
@@ -90,11 +83,26 @@ func run(ctx context.Context, args []string) error {
 	cacheFlags := store.BindFlags(fs)
 	obsFlags := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return cli.ParseError(err)
 	}
 	if *sel == "list" {
 		selector.FprintList(os.Stdout)
 		return nil
+	}
+	// Validate the value-carrying flags up front, so a typo is a usage
+	// error (exit 2) with a pointer at the discovery command, not a runtime
+	// failure from deep inside the pipeline.
+	if _, err := selector.ByName(*sel); err != nil {
+		return cli.SelectorHint("experiments", err)
+	}
+	if *id != "all" {
+		known := false
+		for _, each := range experiments.IDs() {
+			known = known || each == *id
+		}
+		if !known {
+			return cli.Usagef("unknown experiment %q (want one of %s or all)", *id, strings.Join(experiments.IDs(), ", "))
+		}
 	}
 	st, err := cacheFlags.Open()
 	if err != nil {
@@ -111,7 +119,7 @@ func run(ctx context.Context, args []string) error {
 	}()
 	scale, err := workload.ScaleByName(*scaleName)
 	if err != nil {
-		return err
+		return cli.Usagef("%v", err)
 	}
 	scale = workload.ScaleFromEnv(scale)
 
@@ -119,6 +127,9 @@ func run(ctx context.Context, args []string) error {
 	if *benches != "" {
 		for _, n := range strings.Split(*benches, ",") {
 			if n = strings.TrimSpace(n); n != "" {
+				if _, err := workload.ByName(n); err != nil {
+					return cli.Usagef("%v (run 'specsim list' to see the suite)", err)
+				}
 				names = append(names, n)
 			}
 		}

@@ -6,18 +6,34 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"specsampling/internal/cli"
 )
 
 func TestRunValidation(t *testing.T) {
-	if err := run(context.Background(), []string{"-scale", "nope"}); err == nil {
-		t.Error("unknown scale accepted")
+	// Every mistyped value is a usage error: exit status 2, consistently.
+	cases := [][]string{
+		{"-scale", "nope"},
+		{"-run", "fig99", "-scale", "small", "-bench", "520.omnetpp_r"},
+		{"-run", "tableII", "-scale", "small", "-bench", "nope"},
+		{"-selector", "nope", "-scale", "small"},
 	}
-	if err := run(context.Background(), []string{"-run", "fig99", "-scale", "small", "-bench", "520.omnetpp_r"}); err == nil {
-		t.Error("unknown experiment accepted")
+	for _, args := range cases {
+		err := run(context.Background(), args)
+		if err == nil {
+			t.Errorf("run(%v) accepted", args)
+			continue
+		}
+		if !errors.Is(err, cli.ErrUsage) {
+			t.Errorf("run(%v) = %v, want a usage error", args, err)
+		}
 	}
-	if err := run(context.Background(), []string{"-run", "tableII", "-scale", "small", "-bench", "nope"}); err == nil {
-		t.Error("unknown benchmark accepted")
+	// The selector error points at the discovery command.
+	err := run(context.Background(), []string{"-selector", "nope", "-scale", "small"})
+	if err == nil || !strings.Contains(err.Error(), "-selector list") {
+		t.Errorf("selector error %q lacks the '-selector list' hint", err)
 	}
 }
 
@@ -32,17 +48,20 @@ func TestRunSingleExperiment(t *testing.T) {
 
 // TestExitCode regresses the SIGINT exit-status bug: cancellation must map
 // to the distinct 130 (128+SIGINT), not a generic status — and certainly
-// not 0.
+// not 0. Usage mistakes exit 2, the shared convention of internal/cli.
 func TestExitCode(t *testing.T) {
-	if got := exitCode(context.Canceled); got != 130 {
-		t.Errorf("exitCode(Canceled) = %d, want 130", got)
+	if got := cli.ExitCode(context.Canceled); got != 130 {
+		t.Errorf("ExitCode(Canceled) = %d, want 130", got)
 	}
 	wrapped := fmt.Errorf("interrupted by SIGINT: %w", context.Canceled)
-	if got := exitCode(wrapped); got != 130 {
-		t.Errorf("exitCode(wrapped Canceled) = %d, want 130", got)
+	if got := cli.ExitCode(wrapped); got != 130 {
+		t.Errorf("ExitCode(wrapped Canceled) = %d, want 130", got)
 	}
-	if got := exitCode(errors.New("boom")); got != 1 {
-		t.Errorf("exitCode(other) = %d, want 1", got)
+	if got := cli.ExitCode(errors.New("boom")); got != 1 {
+		t.Errorf("ExitCode(other) = %d, want 1", got)
+	}
+	if got := cli.ExitCode(run(context.Background(), []string{"-scale", "nope"})); got != 2 {
+		t.Errorf("ExitCode(bad -scale) = %d, want 2", got)
 	}
 }
 

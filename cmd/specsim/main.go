@@ -20,12 +20,14 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 
 	"specsampling/internal/cache"
+	"specsampling/internal/cli"
 	"specsampling/internal/obs"
 	"specsampling/internal/pin"
 	"specsampling/internal/pintool"
@@ -39,15 +41,17 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if err := run(ctx, os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "specsim:", err)
+		if !errors.Is(err, flag.ErrHelp) && !cli.Reported(err) {
+			fmt.Fprintln(os.Stderr, "specsim:", err)
+		}
 		stop()
-		os.Exit(1)
+		os.Exit(cli.ExitCode(err))
 	}
 }
 
 func run(ctx context.Context, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: specsim <list|run|phases> [flags]")
+		return cli.Usagef("usage: specsim <list|run|phases> [flags]")
 	}
 	switch args[0] {
 	case "list":
@@ -57,7 +61,7 @@ func run(ctx context.Context, args []string) error {
 	case "phases":
 		return phasesCmd(ctx, args[1:])
 	default:
-		return fmt.Errorf("unknown subcommand %q (want list, run or phases)", args[0])
+		return cli.Usagef("unknown subcommand %q (want list, run or phases)", args[0])
 	}
 }
 
@@ -77,10 +81,18 @@ func runBench(args []string) error {
 	instrs := fs.Uint64("instrs", 0, "stop after N instructions (0 = run to completion)")
 	obsFlags := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return cli.ParseError(err)
 	}
 	if *bench == "" {
-		return fmt.Errorf("missing -bench")
+		return cli.Usagef("missing -bench (run 'specsim list' to see the suite)")
+	}
+	spec, err := workload.ByName(*bench)
+	if err != nil {
+		return cli.Usagef("%v (run 'specsim list' to see the suite)", err)
+	}
+	scale, err := workload.ScaleByName(*scaleName)
+	if err != nil {
+		return cli.Usagef("%v", err)
 	}
 	shutdown, err := obsFlags.Activate(os.Stderr)
 	if err != nil {
@@ -91,14 +103,6 @@ func runBench(args []string) error {
 			fmt.Fprintln(os.Stderr, "specsim:", cerr)
 		}
 	}()
-	spec, err := workload.ByName(*bench)
-	if err != nil {
-		return err
-	}
-	scale, err := workload.ScaleByName(*scaleName)
-	if err != nil {
-		return err
-	}
 	prog, err := spec.Build(scale)
 	if err != nil {
 		return err

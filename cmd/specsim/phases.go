@@ -9,6 +9,7 @@ import (
 	"runtime"
 
 	"specsampling/internal/bbv"
+	"specsampling/internal/cli"
 	"specsampling/internal/core"
 	"specsampling/internal/obs"
 	"specsampling/internal/pin"
@@ -36,14 +37,25 @@ func phasesCmd(ctx context.Context, args []string) error {
 	cacheFlags := store.BindFlags(fs)
 	obsFlags := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return cli.ParseError(err)
 	}
 	if *sel == "list" {
 		selector.FprintList(os.Stdout)
 		return nil
 	}
 	if *bench == "" {
-		return fmt.Errorf("missing -bench")
+		return cli.Usagef("missing -bench (run 'specsim list' to see the suite)")
+	}
+	if _, err := selector.ByName(*sel); err != nil {
+		return cli.SelectorHint("specsim phases", err)
+	}
+	spec, err := workload.ByName(*bench)
+	if err != nil {
+		return cli.Usagef("%v (run 'specsim list' to see the suite)", err)
+	}
+	scale, err := workload.ScaleByName(*scaleName)
+	if err != nil {
+		return cli.Usagef("%v", err)
 	}
 	st, err := cacheFlags.Open()
 	if err != nil {
@@ -58,14 +70,6 @@ func phasesCmd(ctx context.Context, args []string) error {
 			fmt.Fprintln(os.Stderr, "specsim:", cerr)
 		}
 	}()
-	spec, err := workload.ByName(*bench)
-	if err != nil {
-		return err
-	}
-	scale, err := workload.ScaleByName(*scaleName)
-	if err != nil {
-		return err
-	}
 	acfg := core.DefaultConfig(scale)
 	acfg.Workers = *workers
 	acfg.Selector = *sel

@@ -1,0 +1,156 @@
+// Command specsimd serves the sampling pipeline as a long-lived daemon:
+// many clients submit experiment configurations over HTTP and share one
+// warm artifact store, one bounded job queue, and one dedup table.
+//
+// Usage:
+//
+//	specsimd -cache-dir /var/cache/specsim          # listen on 127.0.0.1:8742
+//	specsimd -cache-dir DIR -addr :9000 -job-workers 4
+//
+// A session:
+//
+//	curl -d '{"run":"fig4","scale":"small"}' localhost:8742/v1/jobs
+//	curl localhost:8742/v1/jobs/j000001                # status
+//	curl localhost:8742/v1/jobs/j000001/events         # live JSONL progress
+//	curl localhost:8742/v1/jobs/j000001/result         # report JSON
+//
+// The result bytes are byte-identical to `experiments -run fig4 -scale
+// small -json FILE` against the same store. Identical submissions dedup to
+// one computation; overload answers 503 with Retry-After.
+//
+// Shutdown: SIGTERM (or SIGINT) stops accepting work and drains in-flight
+// jobs so every completed stage reaches the store; a second signal or the
+// -drain-timeout deadline hard-cancels whatever is still running (the store
+// stays uncorrupted either way — interrupted stages are simply recomputed).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"specsampling/internal/cli"
+	"specsampling/internal/obs"
+	"specsampling/internal/serve"
+	"specsampling/internal/store"
+)
+
+func main() {
+	// The root context and the signal subscription are minted here and
+	// nowhere else. The first signal triggers the graceful drain; the root
+	// stays live through it so draining jobs finish, and hard-cancelling it
+	// is the escalation path (second signal or drain timeout).
+	root, hardCancel := context.WithCancel(context.Background())
+	defer hardCancel()
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	err := run(root, hardCancel, sig, os.Args[1:])
+	if err != nil && !errors.Is(err, flag.ErrHelp) {
+		fmt.Fprintln(os.Stderr, "specsimd:", err)
+	}
+	if code := cli.ExitCode(err); code != 0 {
+		os.Exit(code)
+	}
+}
+
+func run(ctx context.Context, hardCancel context.CancelFunc, sig <-chan os.Signal, args []string) error {
+	fs := flag.NewFlagSet("specsimd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8742", "listen address")
+	cacheDir := fs.String("cache-dir", os.Getenv("SPECSIM_CACHE"),
+		"persistent artifact cache directory shared by every job "+
+			"(required; env SPECSIM_CACHE sets the default)")
+	shards := fs.Int("shards", 0,
+		"store shard-directory count for a newly created cache (0 = default; "+
+			"an existing cache keeps the count it was created with)")
+	workers := fs.Int("workers", runtime.NumCPU(),
+		"worker goroutines inside each job's pipeline (results are identical for any value; <= 0 means GOMAXPROCS)")
+	jobWorkers := fs.Int("job-workers", 2, "jobs executing concurrently")
+	queueDepth := fs.Int("queue-depth", 64, "queued jobs beyond which submissions are shed with 503")
+	maxClient := fs.Int("max-client", 16, "live (queued+running) jobs one client may hold")
+	drainTimeout := fs.Duration("drain-timeout", time.Minute,
+		"how long a shutdown signal waits for in-flight jobs before hard-cancelling them")
+	obsFlags := obs.BindFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return cli.Usagef("%v", err)
+	}
+	if *cacheDir == "" {
+		fs.Usage()
+		return cli.Usagef("missing -cache-dir (or env SPECSIM_CACHE): the daemon serves every client from one persistent artifact store")
+	}
+	st, err := store.OpenSharded(*cacheDir, *shards)
+	if err != nil {
+		return err
+	}
+	shutdown, err := obsFlags.Activate(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := shutdown(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "specsimd:", cerr)
+		}
+	}()
+
+	srv, err := serve.New(ctx, serve.Config{
+		Store:        st,
+		Workers:      *workers,
+		JobWorkers:   *jobWorkers,
+		QueueDepth:   *queueDepth,
+		MaxPerClient: *maxClient,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "specsimd: listening on %s (store %s, %d shards)\n",
+		ln.Addr(), st.Dir(), st.Shards())
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-sig:
+	}
+	fmt.Fprintf(os.Stderr, "specsimd: shutdown signal; draining in-flight jobs (timeout %s, signal again to abort)\n", *drainTimeout)
+
+	drained := make(chan struct{})
+	go func() {
+		srv.Drain() // rejects new work immediately, then waits for jobs
+		close(drained)
+	}()
+	go func() {
+		select {
+		case <-drained:
+		case <-sig:
+			fmt.Fprintln(os.Stderr, "specsimd: second signal; hard-cancelling")
+			hardCancel()
+		case <-time.After(*drainTimeout):
+			fmt.Fprintln(os.Stderr, "specsimd: drain timeout; hard-cancelling")
+			hardCancel()
+		}
+	}()
+	// Shutdown stops the listener and waits for handlers; the event streams
+	// end as their jobs finish (or immediately, once the drain closes them).
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "specsimd:", err)
+	}
+	<-drained
+	fmt.Fprintln(os.Stderr, "specsimd: drained; bye")
+	return nil
+}

@@ -16,6 +16,11 @@ var detmapPackages = map[string]bool{
 	"subset":      true,
 	"selector":    true,
 	"experiments": true,
+	// serve hands out experiment reports over HTTP; its job table and dedup
+	// index are maps, and anything folded out of them (listings, stats,
+	// result bytes) must not depend on iteration order. ctxflow, spanleak
+	// and closecheck already cover it module-wide.
+	"serve": true,
 }
 
 // Detmap flags `range` over a map in result-producing packages. Go

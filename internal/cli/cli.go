@@ -1,0 +1,84 @@
+// Package cli holds the exit-code and usage-error conventions shared by the
+// repo's binaries (cmd/experiments, cmd/specsim, cmd/specsimd).
+//
+// The convention follows the shell's: 0 success, 1 runtime failure, 2
+// command-line usage error (the status flag.ExitOnError would use), 130 for
+// a SIGINT-cancelled run (128+SIGINT — "interrupted" is a normal, resumable
+// state for this pipeline, not a generic failure). Every command maps its
+// run error through ExitCode so a misspelled -selector exits identically
+// everywhere, and scripts can distinguish "you typed it wrong" from "the
+// pipeline failed".
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+)
+
+// ErrUsage marks an error as a command-line usage problem. Match with
+// errors.Is; build one with Usagef.
+var ErrUsage = errors.New("usage error")
+
+// usageErr is a message that Is(ErrUsage) without the sentinel's text
+// polluting the printed message. reported means the user has already seen
+// it (flag.Parse prints its own message and usage block), so main should
+// exit 2 without printing it again.
+type usageErr struct {
+	msg      string
+	reported bool
+}
+
+func (e *usageErr) Error() string        { return e.msg }
+func (e *usageErr) Is(target error) bool { return target == ErrUsage }
+
+// Usagef builds a usage error: the command prints it (with its usual
+// "<cmd>: " prefix) and exits 2.
+func Usagef(format string, args ...interface{}) error {
+	return &usageErr{msg: fmt.Sprintf(format, args...)}
+}
+
+// ParseError adapts a flag.FlagSet.Parse error to the convention: help
+// requests pass through (ExitCode maps them to 0), anything else becomes a
+// usage error already reported to the user — flag printed the message and
+// the usage block itself — so main exits 2 without repeating it.
+func ParseError(err error) error {
+	if err == nil || errors.Is(err, flag.ErrHelp) {
+		return err
+	}
+	return &usageErr{msg: err.Error(), reported: true}
+}
+
+// Reported says whether the user has already seen this error (so main
+// should not print it again before exiting).
+func Reported(err error) bool {
+	var u *usageErr
+	return errors.As(err, &u) && u.reported
+}
+
+// SelectorHint decorates a selector-resolution error with the discovery
+// pointer every command shares, as a usage error.
+func SelectorHint(cmd string, err error) error {
+	return Usagef("%v (run '%s -selector list' to see the registered backends)", err, cmd)
+}
+
+// ExitCode maps a command's run error to its process exit status:
+//
+//	nil, flag.ErrHelp    → 0 (asking for -h is not a failure)
+//	ErrUsage             → 2 (bad flags or arguments; flag.Parse errors
+//	                          should be wrapped with Usagef)
+//	context.Canceled     → 130 (128+SIGINT; the run is resumable)
+//	anything else        → 1
+func ExitCode(err error) int {
+	switch {
+	case err == nil, errors.Is(err, flag.ErrHelp):
+		return 0
+	case errors.Is(err, ErrUsage):
+		return 2
+	case errors.Is(err, context.Canceled):
+		return 130
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,53 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"testing"
+)
+
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, 0},
+		{"help", flag.ErrHelp, 0},
+		{"wrapped help", fmt.Errorf("parse: %w", flag.ErrHelp), 0},
+		{"usage", Usagef("unknown scale %q", "huge"), 2},
+		{"wrapped usage", fmt.Errorf("specsim: %w", Usagef("missing -bench")), 2},
+		{"sentinel", ErrUsage, 2},
+		{"canceled", context.Canceled, 130},
+		{"wrapped canceled", fmt.Errorf("interrupted: %w", context.Canceled), 130},
+		{"runtime", errors.New("boom"), 1},
+	}
+	for _, tc := range cases {
+		if got := ExitCode(tc.err); got != tc.want {
+			t.Errorf("%s: ExitCode(%v) = %d, want %d", tc.name, tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestUsagefMessageIsClean(t *testing.T) {
+	err := Usagef("missing -bench")
+	if got := err.Error(); got != "missing -bench" {
+		t.Errorf("Usagef message = %q, want it without the sentinel text", got)
+	}
+	if !errors.Is(err, ErrUsage) {
+		t.Error("Usagef error does not match ErrUsage")
+	}
+}
+
+func TestSelectorHint(t *testing.T) {
+	err := SelectorHint("experiments", errors.New(`selector: unknown backend "x"`))
+	if !errors.Is(err, ErrUsage) {
+		t.Error("SelectorHint error does not match ErrUsage")
+	}
+	want := `selector: unknown backend "x" (run 'experiments -selector list' to see the registered backends)`
+	if err.Error() != want {
+		t.Errorf("SelectorHint = %q, want %q", err.Error(), want)
+	}
+}

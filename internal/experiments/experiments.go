@@ -187,7 +187,7 @@ func (r *Runner) analysis(ctx context.Context, spec workload.Spec) (*core.Analys
 		if err != nil {
 			return nil, fmt.Errorf("experiments: analyze %s: %w", spec.Name, err)
 		}
-		obs.Progress("analyze", int(r.analyzed.Add(1)), len(r.specs), spec.Name)
+		obs.ProgressCtx(ctx, "analyze", int(r.analyzed.Add(1)), len(r.specs), spec.Name)
 		return an, nil
 	})
 }
@@ -359,7 +359,7 @@ func (r *Runner) Prewarm(ctx context.Context, ids ...string) error {
 // its configuration through the progress sink on entry; ctx cancellation
 // aborts between (and inside) stages.
 func (r *Runner) Run(ctx context.Context, id string) error {
-	obs.Headerf("%s", r.Describe())
+	obs.HeaderfCtx(ctx, "%s", r.Describe())
 	run := func(id string) error {
 		ctx, span := obs.Start(ctx, "experiment", obs.String("id", id))
 		defer span.End()
@@ -415,7 +415,7 @@ func (r *Runner) Run(ctx context.Context, id string) error {
 			return err
 		}
 		for i, each := range IDs() {
-			obs.Progress("experiment", i+1, len(IDs()), each)
+			obs.ProgressCtx(ctx, "experiment", i+1, len(IDs()), each)
 			if err := run(each); err != nil {
 				return err
 			}

@@ -65,7 +65,7 @@ func (r *Report) WriteJSON(w io.Writer, scale string, benchmarks []string) error
 // RunRecorded executes one experiment (or "all") like Run, additionally
 // recording each structured result into the report.
 func (r *Runner) RunRecorded(ctx context.Context, id string, report *Report) error {
-	obs.Headerf("%s", r.Describe())
+	obs.HeaderfCtx(ctx, "%s", r.Describe())
 	run := func(id string) error {
 		ctx, span := obs.Start(ctx, "experiment", obs.String("id", id))
 		defer span.End()
@@ -157,7 +157,7 @@ func (r *Runner) RunRecorded(ctx context.Context, id string, report *Report) err
 			return err
 		}
 		for i, each := range IDs() {
-			obs.Progress("experiment", i+1, len(IDs()), each)
+			obs.ProgressCtx(ctx, "experiment", i+1, len(IDs()), each)
 			if err := run(each); err != nil {
 				return err
 			}

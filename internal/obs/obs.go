@@ -79,15 +79,58 @@ type Sink interface {
 	Close() error
 }
 
-// tracer is the active collector: a span-ID allocator plus the sink fan-out.
+// tracer is the active collector: the process-global sink fan-out.
 type tracer struct {
 	sinks []Sink
-	ids   atomic.Uint64
 }
 
 // active is the whole enable/disable story: nil means disabled, and every
 // instrumentation point pays exactly one atomic load to find out.
 var active atomic.Pointer[tracer]
+
+// spanIDs allocates span IDs for global and scoped tracing alike, so a
+// span tree stays consistent when both are live.
+var spanIDs atomic.Uint64
+
+// scope carries job-local sinks through a context — the daemon's per-job
+// event streams, where one process runs many pipelines concurrently and a
+// single global sink would interleave them. Spans started and progress
+// emitted under a scoped context are delivered to the scope's sinks in
+// addition to the global tracer's (either may be absent).
+type scope struct {
+	sinks []Sink
+}
+
+type scopeCtxKey struct{}
+
+// scopeUsed flips (stickily) the first time any scope is created. The
+// disabled fast path in Start/ProgressCtx checks it before touching
+// ctx.Value, so processes that never scope — every CLI — keep paying just
+// atomic loads.
+var scopeUsed atomic.Bool
+
+// WithSink returns a context that delivers the observability stream of
+// everything under it — finished spans and progress events — to the given
+// sinks, in addition to any globally Enabled ones. Scopes nest: sinks
+// accumulate. The caller owns the sinks' lifecycle (Close is never called
+// by the library for scoped sinks).
+func WithSink(ctx context.Context, sinks ...Sink) context.Context {
+	if len(sinks) == 0 {
+		return ctx
+	}
+	scopeUsed.Store(true)
+	merged := sinks
+	if prev := scopeFrom(ctx); prev != nil {
+		merged = append(append([]Sink(nil), prev.sinks...), sinks...)
+	}
+	return context.WithValue(ctx, scopeCtxKey{}, &scope{sinks: merged})
+}
+
+// scopeFrom extracts the sink scope, nil when ctx carries none.
+func scopeFrom(ctx context.Context) *scope {
+	sc, _ := ctx.Value(scopeCtxKey{}).(*scope)
+	return sc
+}
 
 // Enable installs the given sinks and turns tracing on. Passing no sinks is
 // a no-op. Enable replaces (without closing) any previously active sinks;
@@ -125,22 +168,28 @@ type spanKey struct{}
 // Span is one in-flight region of work. A nil *Span (what Start returns
 // when tracing is disabled) is valid: all methods are no-ops.
 type Span struct {
-	t  *tracer
-	mu sync.Mutex
-	sd SpanData
+	sinks []Sink
+	mu    sync.Mutex
+	sd    SpanData
 }
 
 // Start begins a span named name under the span carried by ctx (if any) and
 // returns a derived context carrying the new span. When tracing is disabled
-// it returns ctx unchanged and a nil span — a single atomic load.
+// and ctx carries no sink scope it returns ctx unchanged and a nil span —
+// two atomic loads (the ctx.Value walk is skipped entirely in processes
+// that never scope).
 func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
 	t := active.Load()
-	if t == nil {
+	var sc *scope
+	if scopeUsed.Load() {
+		sc = scopeFrom(ctx)
+	}
+	if t == nil && sc == nil {
 		return ctx, nil
 	}
-	sp := &Span{t: t}
+	sp := &Span{sinks: combineSinks(t, sc)}
 	sp.sd = SpanData{
-		ID:    t.ids.Add(1),
+		ID:    spanIDs.Add(1),
 		Name:  name,
 		Start: time.Now(),
 		Attrs: attrs,
@@ -149,6 +198,19 @@ func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *S
 		sp.sd.Parent = parent
 	}
 	return context.WithValue(ctx, spanKey{}, sp.sd.ID), sp
+}
+
+// combineSinks merges the global tracer's sinks (if enabled) with a
+// scope's (if present). At least one side is non-nil at every call site.
+func combineSinks(t *tracer, sc *scope) []Sink {
+	switch {
+	case t == nil:
+		return sc.sinks
+	case sc == nil:
+		return t.sinks
+	default:
+		return append(append([]Sink(nil), t.sinks...), sc.sinks...)
+	}
 }
 
 // Annotate appends attributes to the span, to be reported at End.
@@ -175,13 +237,15 @@ func (s *Span) End() {
 	s.sd.End = time.Now()
 	sd := s.sd
 	s.mu.Unlock()
-	for _, sink := range s.t.sinks {
+	for _, sink := range s.sinks {
 		sink.SpanEnd(&sd)
 	}
 }
 
-// Progress emits one progress event to every sink. Cheap when disabled
-// (one atomic load, no clock).
+// Progress emits one progress event to the globally Enabled sinks. Cheap
+// when disabled (one atomic load, no clock). Pipeline stages that hold a
+// context should prefer ProgressCtx so scoped (per-job) sinks see the
+// event too.
 func Progress(stage string, done, total int, msg string) {
 	t := active.Load()
 	if t == nil {
@@ -191,6 +255,22 @@ func Progress(stage string, done, total int, msg string) {
 	for _, s := range t.sinks {
 		s.Progress(ev)
 	}
+}
+
+// ProgressCtx is Progress for context-holding call sites: the event reaches
+// the global sinks and any sinks scoped onto ctx with WithSink, so a
+// daemon job's live feed sees the same stream a CLI run narrates.
+func ProgressCtx(ctx context.Context, stage string, done, total int, msg string) {
+	t := active.Load()
+	var sc *scope
+	if scopeUsed.Load() {
+		sc = scopeFrom(ctx)
+	}
+	if t == nil && sc == nil {
+		return
+	}
+	ev := ProgressEvent{Time: time.Now(), Stage: stage, Done: done, Total: total, Msg: msg}
+	deliverProgress(t, sc, ev)
 }
 
 // Headerf emits the run header — the one-line "what is this run" summary
@@ -203,5 +283,33 @@ func Headerf(format string, args ...interface{}) {
 	ev := ProgressEvent{Time: time.Now(), Stage: "run", Msg: fmt.Sprintf(format, args...)}
 	for _, s := range t.sinks {
 		s.Progress(ev)
+	}
+}
+
+// HeaderfCtx is Headerf for context-holding call sites; see ProgressCtx.
+func HeaderfCtx(ctx context.Context, format string, args ...interface{}) {
+	t := active.Load()
+	var sc *scope
+	if scopeUsed.Load() {
+		sc = scopeFrom(ctx)
+	}
+	if t == nil && sc == nil {
+		return
+	}
+	ev := ProgressEvent{Time: time.Now(), Stage: "run", Msg: fmt.Sprintf(format, args...)}
+	deliverProgress(t, sc, ev)
+}
+
+// deliverProgress fans one event out to the global and scoped sinks.
+func deliverProgress(t *tracer, sc *scope, ev ProgressEvent) {
+	if t != nil {
+		for _, s := range t.sinks {
+			s.Progress(ev)
+		}
+	}
+	if sc != nil {
+		for _, s := range sc.sinks {
+			s.Progress(ev)
+		}
 	}
 }

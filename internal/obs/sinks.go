@@ -24,6 +24,13 @@ type JSONLSink struct {
 	// werr records the first write error so Close can surface it. Without
 	// it a full disk mid-run would yield a silently truncated trace.
 	werr error
+	// stream flushes after every record so a live reader (the daemon's
+	// /events feed) sees each line as it happens instead of at Close.
+	stream bool
+	// noMetrics skips the final metrics record on Close. The process-wide
+	// counter snapshot belongs to a whole-process trace, not to one job's
+	// stream among many.
+	noMetrics bool
 }
 
 // NewJSONLSink wraps w. If w is an io.Closer (a file), Close closes it.
@@ -32,6 +39,20 @@ func NewJSONLSink(w io.Writer) *JSONLSink {
 	if c, ok := w.(io.Closer); ok {
 		s.c = c
 	}
+	return s
+}
+
+// NewStreamingJSONLSink is NewJSONLSink tuned for live consumption: every
+// record is flushed to w as soon as it is written, and Close appends no
+// process-wide metrics snapshot. Record emission stays serialized under the
+// sink's lock, so concurrent emitters never interleave mid-record; a
+// consumer that splits on '\n' reconstructs exact records regardless of
+// write chunking. This is the per-job sink behind the daemon's
+// /v1/jobs/{id}/events feed.
+func NewStreamingJSONLSink(w io.Writer) *JSONLSink {
+	s := NewJSONLSink(w)
+	s.stream = true
+	s.noMetrics = true
 	return s
 }
 
@@ -59,6 +80,11 @@ func (s *JSONLSink) emit(v interface{}) {
 		}
 		if werr := s.w.WriteByte('\n'); werr != nil && s.werr == nil {
 			s.werr = werr
+		}
+		if s.stream {
+			if werr := s.w.Flush(); werr != nil && s.werr == nil {
+				s.werr = werr
+			}
 		}
 	}
 	s.mu.Unlock()
@@ -105,16 +131,18 @@ func (s *JSONLSink) Progress(ev ProgressEvent) {
 	})
 }
 
-// Close appends a final {"type":"metrics",...} snapshot, flushes, and
-// closes the underlying file if there is one. It returns the first error
-// the sink encountered — a mid-run write failure (recorded by emit), then a
-// flush failure, then a close failure — so a truncated trace is never
-// silent.
+// Close appends a final {"type":"metrics",...} snapshot (unless the sink
+// is a per-job streaming sink), flushes, and closes the underlying file if
+// there is one. It returns the first error the sink encountered — a
+// mid-run write failure (recorded by emit), then a flush failure, then a
+// close failure — so a truncated trace is never silent.
 func (s *JSONLSink) Close() error {
-	s.emit(struct {
-		Type    string        `json:"type"`
-		Metrics []MetricValue `json:"metrics"`
-	}{Type: "metrics", Metrics: Snapshot()})
+	if !s.noMetrics {
+		s.emit(struct {
+			Type    string        `json:"type"`
+			Metrics []MetricValue `json:"metrics"`
+		}{Type: "metrics", Metrics: Snapshot()})
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.done = true

@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGroupDoCancelledComputerDoesNotPoisonWaiters is the regression test
+// for the co-waiter poisoning bug: when the *computing* caller's context is
+// cancelled mid-fn, the blocked waiters used to receive that caller's
+// ctx.Err() as the shared result even though their own contexts were live.
+// Now the cancelled attempt is private — a live waiter takes over and every
+// waiter gets the real value.
+func TestGroupDoCancelledComputerDoesNotPoisonWaiters(t *testing.T) {
+	var g Group[string, int]
+
+	computerCtx, cancelComputer := context.WithCancel(context.Background())
+	defer cancelComputer()
+	computing := make(chan struct{})
+
+	// The computer: its fn parks until its context is cancelled, then
+	// reports that cancellation — the shape of a client disconnect mid-job.
+	computerErr := make(chan error, 1)
+	go func() {
+		_, err := g.Do(computerCtx, "k", func() (int, error) {
+			close(computing)
+			<-computerCtx.Done()
+			return 0, computerCtx.Err()
+		})
+		computerErr <- err
+	}()
+	<-computing
+
+	// Two waiters with live contexts join the in-flight call. Their fn is
+	// the takeover path; count how many times it actually runs.
+	var recomputes atomic.Int64
+	var wg sync.WaitGroup
+	results := make([]int, 2)
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = g.Do(context.Background(), "k", func() (int, error) {
+				recomputes.Add(1)
+				return 42, nil
+			})
+		}(i)
+	}
+	// Give the waiters time to block on the in-flight call, then cancel
+	// the computer out from under them.
+	time.Sleep(10 * time.Millisecond)
+	cancelComputer()
+
+	wg.Wait()
+	for i := range results {
+		if errs[i] != nil {
+			t.Errorf("waiter %d inherited the computer's cancellation: %v", i, errs[i])
+		}
+		if results[i] != 42 {
+			t.Errorf("waiter %d = %d, want 42", i, results[i])
+		}
+	}
+	if got := recomputes.Load(); got != 1 {
+		t.Errorf("takeover ran fn %d times, want exactly 1", got)
+	}
+	// The cancelled computer still sees its own ctx.Err().
+	if err := <-computerErr; !errors.Is(err, context.Canceled) {
+		t.Errorf("computer error = %v, want context.Canceled", err)
+	}
+	// The recovered value is cached like any success.
+	v, err := g.Do(context.Background(), "k", func() (int, error) {
+		t.Error("cached value recomputed")
+		return 0, nil
+	})
+	if err != nil || v != 42 {
+		t.Errorf("cached Do = %d, %v; want 42, nil", v, err)
+	}
+}
+
+// TestGroupDoGenuineFailureStillShared: a non-cancellation failure remains
+// a shared outcome — waiters see it, and a later call retries.
+func TestGroupDoGenuineFailureStillShared(t *testing.T) {
+	var g Group[string, int]
+	boom := errors.New("boom")
+	computing := make(chan struct{})
+	release := make(chan struct{})
+
+	computerDone := make(chan error, 1)
+	go func() {
+		_, err := g.Do(context.Background(), "k", func() (int, error) {
+			close(computing)
+			<-release
+			return 0, boom
+		})
+		computerDone <- err
+	}()
+	<-computing
+
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, err := g.Do(context.Background(), "k", func() (int, error) {
+			t.Error("waiter recomputed a shared failure")
+			return 0, nil
+		})
+		waiterDone <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	close(release)
+
+	if err := <-computerDone; !errors.Is(err, boom) {
+		t.Errorf("computer error = %v, want boom", err)
+	}
+	if err := <-waiterDone; !errors.Is(err, boom) {
+		t.Errorf("waiter error = %v, want the shared boom", err)
+	}
+	// Failed calls are not cached: the next Do retries.
+	v, err := g.Do(context.Background(), "k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Errorf("retry Do = %d, %v; want 7, nil", v, err)
+	}
+}
+
+// TestGroupDoCancelledComputerNoWaiters: with nobody waiting, the
+// cancelled attempt simply evaporates and the next caller recomputes.
+func TestGroupDoCancelledComputerNoWaiters(t *testing.T) {
+	var g Group[string, int]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := g.Do(ctx, "k", func() (int, error) {
+		return 0, ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	v, err := g.Do(context.Background(), "k", func() (int, error) { return 9, nil })
+	if err != nil || v != 9 {
+		t.Errorf("Do after cancelled attempt = %d, %v; want 9, nil", v, err)
+	}
+}

@@ -1,0 +1,104 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"specsampling/internal/obs"
+)
+
+// Queue errors. ErrQueueFull is the backpressure signal — the serving layer
+// maps it to 503 + Retry-After; ErrQueueClosed means the queue is draining
+// for shutdown and accepts nothing new.
+var (
+	ErrQueueFull   = errors.New("sched: queue full")
+	ErrQueueClosed = errors.New("sched: queue closed")
+)
+
+// Queue metrics: accepted/rejected submissions and completed jobs.
+var (
+	queueAccepted = obs.GetCounter("sched.queue.accepted")
+	queueRejected = obs.GetCounter("sched.queue.rejected")
+	queueDone     = obs.GetCounter("sched.queue.done")
+)
+
+// Queue is a bounded FIFO work queue drained by a fixed worker pool — the
+// admission-controlled execution stage behind the specsimd daemon. Unlike
+// ForEach (a bounded fan-out over work known up front), a Queue accepts
+// work over time and sheds load instead of buffering without limit: Submit
+// never blocks, and a full queue is an explicit, caller-visible rejection.
+//
+// Every job runs with the context the queue was started with (the daemon's
+// job-runtime context), not a submitter's request context — a client
+// disconnecting must not cancel a computation other clients may be waiting
+// on. Close drains: no new work is accepted, queued and in-flight jobs run
+// to completion, and Close returns when the pool is idle. Hard-aborting the
+// drain is the owner's move: cancel the runtime context and the jobs
+// (which must honour ctx like every pipeline stage) unwind.
+type Queue struct {
+	ctx  context.Context
+	jobs chan func(context.Context)
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewQueue starts a queue of the given depth drained by workers goroutines
+// (workers <= 0 uses GOMAXPROCS; depth < 0 is treated as 0, meaning a job
+// is accepted only when a worker is free to take it immediately). ctx is
+// the runtime context every job receives.
+func NewQueue(ctx context.Context, workers, depth int) *Queue {
+	if depth < 0 {
+		depth = 0
+	}
+	q := &Queue{ctx: ctx, jobs: make(chan func(context.Context), depth)}
+	for w := 0; w < Workers(workers); w++ {
+		q.wg.Add(1)
+		go func() {
+			defer q.wg.Done()
+			for fn := range q.jobs {
+				fn(q.ctx)
+				queueDone.Add(1)
+			}
+		}()
+	}
+	return q
+}
+
+// Submit enqueues fn without blocking. It returns ErrQueueFull when the
+// queue is at depth (the caller should shed load and invite a retry) and
+// ErrQueueClosed once Close has begun.
+func (q *Queue) Submit(fn func(context.Context)) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		queueRejected.Add(1)
+		return ErrQueueClosed
+	}
+	select {
+	case q.jobs <- fn:
+		queueAccepted.Add(1)
+		return nil
+	default:
+		queueRejected.Add(1)
+		return ErrQueueFull
+	}
+}
+
+// Depth reports how many accepted jobs are waiting for a worker.
+func (q *Queue) Depth() int { return len(q.jobs) }
+
+// Close stops accepting work and waits for every queued and in-flight job
+// to finish. Idempotent; concurrent Submits fail cleanly with
+// ErrQueueClosed rather than racing the shutdown.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		close(q.jobs)
+	}
+	q.mu.Unlock()
+	q.wg.Wait()
+}

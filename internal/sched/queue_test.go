@@ -1,0 +1,77 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestQueueRunsEverythingAndDrains(t *testing.T) {
+	q := NewQueue(context.Background(), 4, 64)
+	var ran atomic.Int64
+	for i := 0; i < 50; i++ {
+		if err := q.Submit(func(context.Context) { ran.Add(1) }); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	q.Close()
+	if got := ran.Load(); got != 50 {
+		t.Fatalf("ran %d jobs, want 50", got)
+	}
+	if err := q.Submit(func(context.Context) {}); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("submit after close = %v, want ErrQueueClosed", err)
+	}
+}
+
+// TestQueueShedsLoadWhenFull: with one busy worker and a bounded buffer,
+// the overflow submission is rejected immediately rather than blocking.
+func TestQueueShedsLoadWhenFull(t *testing.T) {
+	q := NewQueue(context.Background(), 1, 1)
+	block := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	if err := q.Submit(func(context.Context) { defer wg.Done(); <-block }); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the worker to pick the first job up, then fill the buffer.
+	for q.Depth() > 0 {
+		runtime.Gosched()
+	}
+	wg.Add(1)
+	if err := q.Submit(func(context.Context) { wg.Done() }); err != nil {
+		t.Fatalf("buffered submit: %v", err)
+	}
+	if err := q.Submit(func(context.Context) { t.Error("overflow job ran") }); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit = %v, want ErrQueueFull", err)
+	}
+	if got := q.Depth(); got != 1 {
+		t.Errorf("Depth = %d, want 1", got)
+	}
+	close(block)
+	wg.Wait()
+	q.Close()
+}
+
+// TestQueueJobsReceiveRuntimeContext: jobs see the queue's context, so the
+// owner's hard-abort cancels them, not any submitter's.
+func TestQueueJobsReceiveRuntimeContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	q := NewQueue(ctx, 1, 1)
+	got := make(chan error, 1)
+	if err := q.Submit(func(jctx context.Context) { cancel(); got <- jctx.Err() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-got; !errors.Is(err, context.Canceled) {
+		t.Fatalf("job ctx err = %v, want Canceled after owner abort", err)
+	}
+	q.Close()
+}
+
+func TestQueueCloseIdempotent(t *testing.T) {
+	q := NewQueue(context.Background(), 2, 2)
+	q.Close()
+	q.Close()
+}

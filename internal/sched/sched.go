@@ -141,11 +141,15 @@ func ForEachSharded(ctx context.Context, workers, n int, fn func(worker, i int) 
 	return nil
 }
 
-// call is one in-flight or completed computation.
+// call is one in-flight or completed computation. abandoned marks a call
+// whose computing caller was cancelled mid-fn: its result is that caller's
+// private ctx.Err(), not a shared outcome, so waiters retry instead of
+// inheriting it.
 type call[V any] struct {
-	done chan struct{}
-	val  V
-	err  error
+	done      chan struct{}
+	val       V
+	err       error
+	abandoned bool
 }
 
 // Group is a per-key singleflight cache. The first caller of Do for a key
@@ -169,7 +173,27 @@ type Group[K comparable, V any] struct {
 // other waiters) proceed untouched. The computing caller itself checks ctx
 // before starting; fn should capture ctx if the computation is to be
 // cancellable mid-flight.
+//
+// Cancellation of the computing caller is private to it: when fn fails
+// because that caller's ctx was cancelled, the failure is not published to
+// waiters — one live waiter takes over the computation (the rest keep
+// waiting on it) and the cancelled caller alone sees its ctx.Err(). Without
+// this, one client disconnecting would poison every concurrent request for
+// the same key with a "context canceled" that none of their contexts
+// produced.
 func (g *Group[K, V]) Do(ctx context.Context, key K, fn func() (V, error)) (V, error) {
+	for {
+		v, err, retry := g.do(ctx, key, fn)
+		if !retry {
+			return v, err
+		}
+	}
+}
+
+// do is one attempt: join an existing call or compute. retry reports that
+// the joined call was abandoned by a cancelled computer and the caller
+// should re-enter (taking over the computation if it gets there first).
+func (g *Group[K, V]) do(ctx context.Context, key K, fn func() (V, error)) (v V, err error, retry bool) {
 	var zero V
 	g.mu.Lock()
 	if g.calls == nil {
@@ -182,19 +206,19 @@ func (g *Group[K, V]) Do(ctx context.Context, key K, fn func() (V, error)) (V, e
 		// cancelled-and-done race prefers the deterministic value.
 		select {
 		case <-c.done:
-			return c.val, c.err
+			return c.val, c.err, c.abandoned
 		default:
 		}
 		select {
 		case <-c.done:
-			return c.val, c.err
+			return c.val, c.err, c.abandoned
 		case <-ctx.Done():
-			return zero, ctx.Err()
+			return zero, ctx.Err(), false
 		}
 	}
 	if err := ctx.Err(); err != nil {
 		g.mu.Unlock()
-		return zero, err
+		return zero, err, false
 	}
 	c := &call[V]{done: make(chan struct{})}
 	g.calls[key] = c
@@ -204,13 +228,18 @@ func (g *Group[K, V]) Do(ctx context.Context, key K, fn func() (V, error)) (V, e
 	c.val, c.err = fn()
 	if c.err != nil {
 		// Drop failed calls so a later caller can retry; waiters still
-		// observe this call's error through the captured pointer.
+		// observe this call's error through the captured pointer — unless
+		// the failure is this caller's own cancellation, which is marked
+		// abandoned so waiters with live contexts retry instead.
 		g.mu.Lock()
 		delete(g.calls, key)
 		g.mu.Unlock()
+		if ctx.Err() != nil {
+			c.abandoned = true
+		}
 	}
 	close(c.done)
-	return c.val, c.err
+	return c.val, c.err, false
 }
 
 // Len reports how many successful results the group currently caches.

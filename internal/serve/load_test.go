@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"specsampling/internal/store"
+)
+
+// TestLoadSmoke is the daemon's high-traffic acceptance check: one job over
+// the full 29-benchmark suite warms the store, then hundreds of concurrent
+// requests — status polls, result fetches and identical resubmissions —
+// hammer the server. Every response must be well-formed and correct (under
+// -race this also pins the server's synchronization), result bytes must be
+// identical across concurrent fetches, and the warm-cache status/result p99
+// latencies are logged for EXPERIMENTS.md.
+func TestLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load smoke skipped in -short mode")
+	}
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hts := newTestServer(t, context.Background(), Config{Store: st, JobWorkers: 2})
+
+	// Warm: the full suite at small scale, through the daemon itself.
+	req := JobRequest{Run: "tableII", Scale: "small"}
+	resp, sub := postJob(t, hts.URL, "warm", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("warm submit = %d, want 202", resp.StatusCode)
+	}
+	if final := waitDone(t, hts.URL, sub.ID); final.State != StateDone {
+		t.Fatalf("warm job state = %s (%s)", final.State, final.Error)
+	}
+	canonical := getResult(t, hts.URL, sub.ID)
+
+	// Load: 60 clients × 10 requests, round-robining status, result and
+	// dedup-submit — ≥500 concurrent requests against the warm cache.
+	const clients, perClient = 60, 10
+	type sample struct {
+		kind string
+		d    time.Duration
+	}
+	var (
+		mu      sync.Mutex
+		samples []sample
+		errs    []string
+	)
+	httpc := &http.Client{Timeout: 30 * time.Second}
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var local []sample
+			var localErrs []string
+			fail := func(format string, args ...interface{}) {
+				localErrs = append(localErrs, fmt.Sprintf(format, args...))
+			}
+			for i := 0; i < perClient; i++ {
+				switch i % 3 {
+				case 0: // status poll
+					t0 := time.Now()
+					r, err := httpc.Get(hts.URL + "/v1/jobs/" + sub.ID)
+					if err != nil {
+						fail("status: %v", err)
+						continue
+					}
+					io.Copy(io.Discard, r.Body)
+					r.Body.Close()
+					local = append(local, sample{"status", time.Since(t0)})
+					if r.StatusCode != http.StatusOK {
+						fail("status code %d", r.StatusCode)
+					}
+				case 1: // result fetch, bytes must match the canonical report
+					t0 := time.Now()
+					r, err := httpc.Get(hts.URL + "/v1/jobs/" + sub.ID + "/result")
+					if err != nil {
+						fail("result: %v", err)
+						continue
+					}
+					blob, _ := io.ReadAll(r.Body)
+					r.Body.Close()
+					local = append(local, sample{"result", time.Since(t0)})
+					if r.StatusCode != http.StatusOK {
+						fail("result code %d", r.StatusCode)
+					} else if !bytes.Equal(blob, canonical) {
+						fail("result bytes diverged (%d vs %d bytes)", len(blob), len(canonical))
+					}
+				case 2: // identical resubmission: must dedup, never recompute
+					body, _ := json.Marshal(req)
+					hr, _ := http.NewRequest("POST", hts.URL+"/v1/jobs", bytes.NewReader(body))
+					hr.Header.Set("X-Client-ID", fmt.Sprintf("load-%02d", c))
+					r, err := httpc.Do(hr)
+					if err != nil {
+						fail("submit: %v", err)
+						continue
+					}
+					var got Status
+					derr := json.NewDecoder(r.Body).Decode(&got)
+					r.Body.Close()
+					if r.StatusCode != http.StatusOK || derr != nil || got.ID != sub.ID || !got.Dedup {
+						fail("dedup submit: code=%d err=%v id=%s dedup=%v", r.StatusCode, derr, got.ID, got.Dedup)
+					}
+				}
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			errs = append(errs, localErrs...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		t.Fatalf("%d request errors under load; first: %s", len(errs), errs[0])
+	}
+
+	// The dedup table never grew a second job for the hammered config.
+	var stats StatsBody
+	sr, err := httpc.Get(hts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(sr.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	sr.Body.Close()
+	if stats.Jobs[StateDone] != 1 || stats.Jobs[StateRunning] != 0 || stats.Jobs[StateQueued] != 0 {
+		t.Errorf("after load, jobs = %+v; want exactly the one warm job, done", stats.Jobs)
+	}
+
+	for _, kind := range []string{"status", "result"} {
+		var ds []time.Duration
+		for _, s := range samples {
+			if s.kind == kind {
+				ds = append(ds, s.d)
+			}
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		p := func(q float64) time.Duration { return ds[int(q*float64(len(ds)-1))] }
+		t.Logf("warm-cache %s latency over %d requests: p50=%s p99=%s max=%s",
+			kind, len(ds), p(0.50), p(0.99), p(1.0))
+	}
+}
+
+// getResult fetches a finished job's report bytes.
+func getResult(t *testing.T, base, id string) []byte {
+	t.Helper()
+	r, err := http.Get(base + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	blob, err := io.ReadAll(r.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("result = %d: %s", r.StatusCode, blob)
+	}
+	return blob
+}

@@ -1,0 +1,196 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"specsampling/internal/obs"
+)
+
+// TestShardedLayout pins the on-disk contract of the sharded store: a Put
+// lands inside a shard subdirectory of the kind directory, at the exact
+// path the key addresses.
+func TestShardedLayout(t *testing.T) {
+	s := mustOpen(t)
+	if s.Shards() != DefaultShards {
+		t.Fatalf("Shards = %d, want %d", s.Shards(), DefaultShards)
+	}
+	key := testKey("slice=64")
+	if err := s.Put(ctx, key, artifact{Total: 1}); err != nil {
+		t.Fatal(err)
+	}
+	path := artifactPath(t, s)
+	if want := s.path(key); path != want {
+		t.Fatalf("artifact at %s, addressed at %s", path, want)
+	}
+	shard := filepath.Base(filepath.Dir(path))
+	if !strings.HasPrefix(shard, "s") || filepath.Base(filepath.Dir(filepath.Dir(path))) != "profile" {
+		t.Fatalf("artifact not under kind/shard: %s", path)
+	}
+}
+
+// TestLegacyEntryReadAndMigrated proves a flat pre-sharding entry is served
+// transparently and moved into its shard on first read.
+func TestLegacyEntryReadAndMigrated(t *testing.T) {
+	s := mustOpen(t)
+	key := testKey("slice=64")
+	if err := s.Put(ctx, key, artifact{Name: "legacy", Total: 9}); err != nil {
+		t.Fatal(err)
+	}
+	// Demote the entry to the flat legacy location a pre-sharding store
+	// would have written.
+	if err := os.Rename(s.path(key), s.legacyPath(key)); err != nil {
+		t.Fatal(err)
+	}
+
+	obs.ResetMetrics()
+	var out artifact
+	if !s.Get(ctx, key, &out) || out.Name != "legacy" {
+		t.Fatalf("legacy entry not served: %+v", out)
+	}
+	if got := obs.GetCounter("store.migrate").Value(); got != 1 {
+		t.Errorf("store.migrate = %d, want 1", got)
+	}
+	if _, err := os.Stat(s.path(key)); err != nil {
+		t.Errorf("entry not migrated into its shard: %v", err)
+	}
+	if _, err := os.Stat(s.legacyPath(key)); !os.IsNotExist(err) {
+		t.Errorf("legacy entry still present after migration")
+	}
+	// The second read is a plain sharded hit, no further migration.
+	if !s.Get(ctx, key, &out) || out.Name != "legacy" {
+		t.Fatalf("migrated entry not served: %+v", out)
+	}
+	if got := obs.GetCounter("store.migrate").Value(); got != 1 {
+		t.Errorf("store.migrate after second read = %d, want 1", got)
+	}
+}
+
+// TestShardCountPinned proves the first open wins: reopening with a
+// different count keeps the pinned layout and every entry stays readable.
+func TestShardCountPinned(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSharded(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shards() != 4 {
+		t.Fatalf("Shards = %d, want 4", s.Shards())
+	}
+	key := testKey("slice=64")
+	if err := s.Put(ctx, key, artifact{Total: 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenSharded(dir, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Shards() != 4 {
+		t.Fatalf("reopened Shards = %d, want pinned 4", s2.Shards())
+	}
+	var out artifact
+	if !s2.Get(ctx, key, &out) || out.Total != 3 {
+		t.Fatalf("entry lost across reopen: %+v", out)
+	}
+
+	// Open (no explicit count) also honours the pin.
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Shards() != 4 {
+		t.Fatalf("Open Shards = %d, want pinned 4", s3.Shards())
+	}
+}
+
+func TestCorruptShardMarkerRejected(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenSharded(dir, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, shardsMarker), []byte("bogus"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("corrupt shard marker accepted")
+	}
+}
+
+// TestCrashDuringPutRecovery simulates a write killed between the temp-file
+// create and the rename: the orphaned .tmp-* file must be reaped on the
+// next open (once old enough to be unambiguous), the interrupted entry must
+// read as a clean miss, and a fresh Put must recompute the slot — in both
+// the sharded and the legacy flat layout.
+func TestCrashDuringPutRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivor := testKey("slice=64")
+	if err := s.Put(ctx, survivor, artifact{Name: "ok", Total: 5}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A killed write for a different key: the temp file exists, the final
+	// name does not. Plant one in the sharded location and one in a legacy
+	// flat kind directory.
+	victim := testKey("slice=128")
+	shardOrphan := filepath.Join(filepath.Dir(s.path(victim)), ".tmp-crashed1")
+	legacyOrphan := filepath.Join(filepath.Dir(s.legacyPath(victim)), ".tmp-crashed2")
+	freshOrphan := filepath.Join(filepath.Dir(s.path(victim)), ".tmp-live")
+	if err := os.MkdirAll(filepath.Dir(shardOrphan), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * tempMaxAge)
+	for _, p := range []string{shardOrphan, legacyOrphan} {
+		if err := os.WriteFile(p, []byte("half a write"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(p, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A young temp file may belong to a live writer in another process and
+	// must survive the reap.
+	if err := os.WriteFile(freshOrphan, []byte("in flight"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	obs.ResetMetrics()
+	s2, err := Open(dir) // restart
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{shardOrphan, legacyOrphan} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("orphaned temp file survived restart: %s", p)
+		}
+	}
+	if _, err := os.Stat(freshOrphan); err != nil {
+		t.Errorf("young temp file reaped: %v", err)
+	}
+	if got := obs.GetCounter("store.reap").Value(); got != 2 {
+		t.Errorf("store.reap = %d, want 2", got)
+	}
+
+	// The interrupted entry is a clean miss and recomputes.
+	var out artifact
+	if s2.Get(ctx, victim, &out) {
+		t.Fatal("interrupted entry reported as hit")
+	}
+	if err := s2.Put(ctx, victim, artifact{Name: "recomputed", Total: 6}); err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Get(ctx, victim, &out) || out.Name != "recomputed" {
+		t.Fatalf("recomputed entry not served: %+v", out)
+	}
+	// The neighbouring completed entry was untouched.
+	if !s2.Get(ctx, survivor, &out) || out.Name != "ok" {
+		t.Fatalf("survivor entry lost: %+v", out)
+	}
+}

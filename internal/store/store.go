@@ -25,7 +25,21 @@
 // a power cut, bit rot, a partial copy — are detected by the header check on
 // read, quarantined into the store's quarantine/ directory for post-mortem,
 // counted on the store.corrupt counter, and reported as misses: corruption
-// degrades to recompute, never to failure.
+// degrades to recompute, never to failure. A write that died between the
+// temp-file create and the rename leaves an orphaned .tmp-* file; Open reaps
+// orphans older than an hour (young ones may belong to a live writer
+// sharing the directory), so a crashed run never accretes garbage.
+//
+// The on-disk layout is sharded: within each kind directory, entries fan
+// out across N shard subdirectories (s00/, s01/, …) selected by the key
+// digest, so a daemon hammering one artifact kind from hundreds of
+// concurrent jobs spreads directory-entry insertion (and the rename+fsync
+// dance) across N directories instead of serialising on one. The shard
+// count is pinned by a marker file at the store root the first time a
+// directory is opened — reopening with a different count keeps the pinned
+// layout, so entries never silently change addresses. Stores written before
+// sharding existed keep working: a read that misses its shard falls back to
+// the legacy flat path and, on a hit, migrates the entry into its shard.
 package store
 
 import (
@@ -41,6 +55,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"specsampling/internal/obs"
 )
@@ -60,6 +75,21 @@ const (
 // quarantineDir is where corrupt entries are moved, relative to the root.
 const quarantineDir = "quarantine"
 
+// Sharding: entries fan out across shard subdirectories inside each kind
+// directory. DefaultShards is used when a store directory is first opened
+// without an explicit count; shardsMarker pins whatever count the directory
+// was created with, so every later open agrees on the layout.
+const (
+	DefaultShards = 16
+	MaxShards     = 256
+	shardsMarker  = "shards"
+)
+
+// tempMaxAge is how old an orphaned .tmp-* file must be before Open reaps
+// it. Younger temp files may belong to a writer in another process sharing
+// the directory, so they are left alone.
+const tempMaxAge = time.Hour
+
 var crcTable = crc64.MakeTable(crc64.ECMA)
 
 // Store metrics. hit/miss/corrupt are the read outcomes; write and
@@ -71,6 +101,8 @@ var (
 	corruptCounter  = obs.GetCounter("store.corrupt")
 	writeCounter    = obs.GetCounter("store.write")
 	writeErrCounter = obs.GetCounter("store.write_error")
+	migrateCounter  = obs.GetCounter("store.migrate")
+	reapCounter     = obs.GetCounter("store.reap")
 )
 
 // Key names one artifact. Kind and Bench locate it (kind subdirectory,
@@ -97,6 +129,12 @@ func (k Key) digest() string {
 	return hex.EncodeToString(h.Sum(nil))[:32]
 }
 
+// Digest exposes the key's content-addressing digest (version salt folded
+// in). The serving layer uses it as the canonical identity of a job
+// configuration, so two clients submitting the same work deduplicate onto
+// one computation exactly when their artifacts would share cache entries.
+func (k Key) Digest() string { return k.digest() }
+
 // sanitize maps a benchmark name onto a safe filename fragment.
 func sanitize(s string) string {
 	return strings.Map(func(r rune) rune {
@@ -113,18 +151,77 @@ func sanitize(s string) string {
 // valid and behaves as an always-miss, never-store cache, so pipeline code
 // threads it through unconditionally.
 type Store struct {
-	dir string
+	dir    string
+	shards int
 }
 
-// Open creates (if needed) and opens the store rooted at dir.
+// Open creates (if needed) and opens the store rooted at dir with the
+// directory's pinned shard count (DefaultShards for a new directory).
 func Open(dir string) (*Store, error) {
+	return OpenSharded(dir, 0)
+}
+
+// OpenSharded opens the store rooted at dir, creating it with the given
+// shard count if the directory is new (shards <= 0 means DefaultShards,
+// values above MaxShards are clamped). A directory that has been opened
+// before keeps the shard count it was created with — the marker file at the
+// root wins over the argument — because entries are addressed by shard and
+// must never move when a different caller picks a different number.
+func OpenSharded(dir string, shards int) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: empty cache directory")
 	}
 	if err := os.MkdirAll(filepath.Join(dir, quarantineDir), 0o755); err != nil {
 		return nil, fmt.Errorf("store: open %s: %w", dir, err)
 	}
-	return &Store{dir: dir}, nil
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	if shards > MaxShards {
+		shards = MaxShards
+	}
+	pinned, err := pinShards(dir, shards)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, shards: pinned}
+	s.reapTemps()
+	return s, nil
+}
+
+// pinShards resolves the directory's shard count: the marker file when one
+// exists, otherwise the requested count, which is then written (atomically,
+// with the store's temp+rename protocol) so every later open agrees.
+func pinShards(dir string, requested int) (int, error) {
+	return pinShardsAt(filepath.Join(dir, shardsMarker), requested)
+}
+
+func pinShardsAt(marker string, requested int) (int, error) {
+	if data, err := os.ReadFile(marker); err == nil {
+		var n int
+		if _, serr := fmt.Sscanf(strings.TrimSpace(string(data)), "%d", &n); serr == nil && n >= 1 && n <= MaxShards {
+			return n, nil
+		}
+		// An unreadable marker means the layout is unknown; refuse rather
+		// than guess and strand every existing entry in the wrong shard.
+		return 0, fmt.Errorf("store: corrupt shard marker %s: %q", marker, data)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(marker), ".tmp-")
+	if err != nil {
+		return 0, fmt.Errorf("store: pin shards: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := fmt.Fprintf(tmp, "%d\n", requested); err != nil {
+		_ = tmp.Close() // the write error is the one worth reporting
+		return 0, fmt.Errorf("store: pin shards: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, fmt.Errorf("store: pin shards: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), marker); err != nil {
+		return 0, fmt.Errorf("store: pin shards: %w", err)
+	}
+	return requested, nil
 }
 
 // Dir returns the store's root directory ("" for a nil store).
@@ -135,9 +232,67 @@ func (s *Store) Dir() string {
 	return s.dir
 }
 
-// path is the artifact's final on-disk location.
+// Shards returns the store's pinned shard count (0 for a nil store).
+func (s *Store) Shards() int {
+	if s == nil {
+		return 0
+	}
+	return s.shards
+}
+
+// shardDir names the shard subdirectory a digest lands in: the digest's
+// first byte modulo the shard count, so entries spread uniformly and the
+// address is a pure function of the key.
+func (s *Store) shardDir(digest string) string {
+	v := hexByte(digest)
+	return fmt.Sprintf("s%02x", v%s.shards)
+}
+
+// hexByte decodes the first two hex characters of a digest.
+func hexByte(digest string) int {
+	v := 0
+	for i := 0; i < 2 && i < len(digest); i++ {
+		c := digest[i]
+		switch {
+		case c >= '0' && c <= '9':
+			v = v<<4 | int(c-'0')
+		case c >= 'a' && c <= 'f':
+			v = v<<4 | int(c-'a'+10)
+		}
+	}
+	return v
+}
+
+// path is the artifact's final on-disk location (sharded layout).
 func (s *Store) path(k Key) string {
+	d := k.digest()
+	return filepath.Join(s.dir, sanitize(k.Kind), s.shardDir(d), sanitize(k.Bench)+"-"+d+".art")
+}
+
+// legacyPath is where a pre-sharding store kept the artifact: directly in
+// the kind directory. Reads fall back to it; writes never target it.
+func (s *Store) legacyPath(k Key) string {
 	return filepath.Join(s.dir, sanitize(k.Kind), sanitize(k.Bench)+"-"+k.digest()+".art")
+}
+
+// reapTemps removes orphaned .tmp-* files older than tempMaxAge anywhere
+// under the root — the debris of a Put that died between the temp-file
+// create and the rename. Best effort: a failed removal only means the
+// orphan survives until the next open.
+func (s *Store) reapTemps() {
+	_ = filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasPrefix(d.Name(), ".tmp-") {
+			return nil
+		}
+		info, ierr := d.Info()
+		if ierr != nil || time.Since(info.ModTime()) < tempMaxAge {
+			return nil
+		}
+		if os.Remove(path) == nil {
+			reapCounter.Add(1)
+		}
+		return nil
+	})
 }
 
 // Get looks key up and, on a hit, gob-decodes the payload into v (which
@@ -154,13 +309,19 @@ func (s *Store) Get(ctx context.Context, key Key, v interface{}) bool {
 		obs.String("kind", key.Kind), obs.String("bench", key.Bench))
 	defer span.End()
 	path := s.path(key)
+	legacy := false
 	data, err := os.ReadFile(path)
 	if err != nil {
-		// Not-exist is the normal miss; any other read error (permissions,
-		// I/O) is treated the same way — the artifact is recomputable.
-		missCounter.Add(1)
-		span.Annotate(obs.String("outcome", "miss"))
-		return false
+		// Sharded miss: fall back to the flat pre-sharding location. Any
+		// read error other than not-exist is treated like a miss either way —
+		// the artifact is recomputable.
+		path = s.legacyPath(key)
+		if data, err = os.ReadFile(path); err != nil {
+			missCounter.Add(1)
+			span.Annotate(obs.String("outcome", "miss"))
+			return false
+		}
+		legacy = true
 	}
 	payload, err := checkEnvelope(data)
 	if err == nil {
@@ -175,9 +336,26 @@ func (s *Store) Get(ctx context.Context, key Key, v interface{}) bool {
 		span.Annotate(obs.String("outcome", "corrupt"))
 		return false
 	}
+	if legacy {
+		s.migrate(key)
+	}
 	hitCounter.Add(1)
 	span.Annotate(obs.String("outcome", "hit"))
 	return true
+}
+
+// migrate moves a legacy flat entry into its shard, so the fallback read
+// happens once per entry rather than forever. Best effort: the entry was
+// already decoded, so a failed rename only costs the next read a fallback.
+func (s *Store) migrate(key Key) {
+	dst := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return
+	}
+	if err := os.Rename(s.legacyPath(key), dst); err == nil {
+		migrateCounter.Add(1)
+		syncDir(filepath.Dir(dst))
+	}
 }
 
 // checkEnvelope validates the length+checksum header and returns the
