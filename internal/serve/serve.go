@@ -233,14 +233,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 
 	if err := s.queue.Submit(func(ctx context.Context) { s.runJob(ctx, job) }); err != nil {
-		s.mu.Lock()
-		delete(s.jobs, job.id)
-		s.order = s.order[:len(s.order)-1]
-		if s.byKey[key] == job {
-			delete(s.byKey, key)
-		}
-		s.release(client)
-		s.mu.Unlock()
+		s.rollbackSubmit(job)
 		rejectCounter.Add(1)
 		w.Header().Set("Retry-After", "5")
 		hint := "the job queue is full; retry shortly"
@@ -251,6 +244,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job.status(false))
+}
+
+// rollbackSubmit undoes a job's registration after its queue submission was
+// rejected. The registration lock was dropped before Submit, so concurrent
+// submissions may have appended to order in the window: remove this job's
+// own id, wherever it sits, never just the tail element.
+func (s *Server) rollbackSubmit(job *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, job.id)
+	for i := len(s.order) - 1; i >= 0; i-- {
+		if s.order[i] == job.id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	if s.byKey[job.key] == job {
+		delete(s.byKey, job.key)
+	}
+	s.release(job.client)
 }
 
 // release must be called with mu held.
@@ -324,13 +337,21 @@ func (s *Server) job(id string) *Job {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{"jobs": s.listStatuses()})
+}
+
+// listStatuses snapshots every job's status, newest first. Unlocking via
+// defer keeps a panic inside the critical section from wedging the server:
+// net/http recovers handler panics, but a mutex locked without defer would
+// stay held forever.
+func (s *Server) listStatuses() []Status {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	statuses := make([]Status, 0, len(s.order))
 	for i := len(s.order) - 1; i >= 0; i-- {
 		statuses = append(statuses, s.jobs[s.order[i]].status(false))
 	}
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]interface{}{"jobs": statuses})
+	return statuses
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -381,7 +402,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "{\"type\":\"gap\",\"dropped\":%d}\n", dropped)
 		}
 		for _, line := range lines {
-			if _, err := w.Write(append(line, '\n')); err != nil {
+			// line's backing array is shared with every other reader of this
+			// log; appending the newline in place would be a write race.
+			if _, err := w.Write(line); err != nil {
+				return
+			}
+			if _, err := io.WriteString(w, "\n"); err != nil {
 				return
 			}
 		}
@@ -420,18 +446,23 @@ type StatsBody struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.stats())
+}
+
+// stats snapshots the queue and job-state counters; defer-unlocked for the
+// same panic-safety reason as listStatuses.
+func (s *Server) stats() StatsBody {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	states := map[string]int{}
 	for _, id := range s.order {
 		_, st := s.jobs[id].resultBytes()
 		states[st]++
 	}
-	body := StatsBody{
+	return StatsBody{
 		Jobs:       states,
 		QueueDepth: s.queue.Depth(),
 		Clients:    len(s.perClient),
 		Shards:     s.cfg.Store.Shards(),
 	}
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, body)
 }

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -65,10 +66,12 @@ func postJob(t *testing.T, base, client string, req JobRequest) (*http.Response,
 	return resp, st
 }
 
-// waitDone polls the job until it reaches a terminal state.
+// waitDone polls the job until it reaches a terminal state. The deadline is
+// sized for the slowest caller — the load smoke's full-suite warm job under
+// -race, which alone takes ~2 minutes on a modest container.
 func waitDone(t *testing.T, base, id string) Status {
 	t.Helper()
-	deadline := time.Now().Add(2 * time.Minute)
+	deadline := time.Now().Add(5 * time.Minute)
 	for time.Now().Before(deadline) {
 		resp, err := http.Get(base + "/v1/jobs/" + id)
 		if err != nil {
@@ -463,5 +466,122 @@ func TestEventLogBounds(t *testing.T) {
 	l.closeLog()
 	if _, _, _, closed, _ := l.since(next); !closed {
 		t.Error("log not closed")
+	}
+}
+
+// TestRollbackSplicesOwnID: regression for the submit-failure rollback
+// truncating whatever id happened to be last in the submission order. The
+// lock is dropped between registration and the queue push, so a concurrent
+// submit can append another id in that window; a rejected job must splice
+// out its own id, or the survivor's id stays in order pointing at a deleted
+// job and every list/stats request panics on the nil entry.
+func TestRollbackSplicesOwnID(t *testing.T) {
+	srv, hts := newTestServer(t, context.Background(), Config{})
+	reqA, _, err := JobRequest{Run: "tableI", Scale: "small"}.validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqB, _, err := JobRequest{Run: "fig4", Scale: "small"}.validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Register A then B exactly as handleSubmit does, then roll A back —
+	// the interleaving where B's registration landed inside A's window.
+	register := func(req JobRequest, client string) *Job {
+		srv.mu.Lock()
+		defer srv.mu.Unlock()
+		srv.seq++
+		j := newJob(fmt.Sprintf("j%06d", srv.seq), req.key(), client, req, srv.cfg.EventBuffer)
+		srv.jobs[j.id] = j
+		srv.order = append(srv.order, j.id)
+		srv.byKey[j.key] = j
+		srv.perClient[client]++
+		return j
+	}
+	a := register(reqA, "alice")
+	b := register(reqB, "bob")
+
+	srv.rollbackSubmit(a)
+
+	srv.mu.Lock()
+	order := append([]string(nil), srv.order...)
+	_, aLives := srv.jobs[a.id]
+	srv.mu.Unlock()
+	if aLives || len(order) != 1 || order[0] != b.id {
+		t.Fatalf("after rollback: order=%v, jobs still has %s: %v; want order=[%s]", order, a.id, aLives, b.id)
+	}
+	// The survivor must still be listable — with the old truncation this
+	// dereferenced the deleted job's nil entry and panicked the handler.
+	resp, err := http.Get(hts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list struct{ Jobs []Status }
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != b.id {
+		t.Errorf("job list = %+v, want exactly %s", list.Jobs, b.id)
+	}
+	// Settle b so its event log is closed rather than left open forever.
+	b.start()
+	b.finish(nil, context.Canceled)
+}
+
+// TestEventsConcurrentReaders streams one job's feed from several readers at
+// once; every line each reader sees must be intact JSON. Under -race this
+// pins that handleEvents never writes into the line buffers shared between
+// readers of the same event log.
+func TestEventsConcurrentReaders(t *testing.T) {
+	_, hts := newTestServer(t, context.Background(), Config{})
+	resp, sub := postJob(t, hts.URL, "", JobRequest{Run: "tableII", Scale: "small", Benchmarks: []string{"505.mcf_r"}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", resp.StatusCode)
+	}
+	const readers = 4
+	errs := make(chan error, readers)
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			es, err := http.Get(hts.URL + sub.EventsURL)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer es.Body.Close()
+			sc := bufio.NewScanner(es.Body)
+			sc.Buffer(make([]byte, 1<<20), 1<<20)
+			lines := 0
+			for sc.Scan() {
+				lines++
+				var v map[string]interface{}
+				if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+					errs <- fmt.Errorf("torn line %d: %v: %q", lines, err, sc.Text())
+					return
+				}
+			}
+			if err := sc.Err(); err != nil {
+				errs <- err
+				return
+			}
+			if lines == 0 {
+				errs <- fmt.Errorf("reader saw no events")
+				return
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+	if st := waitDone(t, hts.URL, sub.ID); st.State != StateDone {
+		t.Fatalf("job failed: %s", st.Error)
 	}
 }

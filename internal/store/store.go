@@ -49,6 +49,7 @@ import (
 	"encoding/binary"
 	"encoding/gob"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"hash/crc64"
 	"io/fs"
@@ -190,38 +191,50 @@ func OpenSharded(dir string, shards int) (*Store, error) {
 }
 
 // pinShards resolves the directory's shard count: the marker file when one
-// exists, otherwise the requested count, which is then written (atomically,
-// with the store's temp+rename protocol) so every later open agrees.
+// exists, otherwise the requested count, which is then published atomically
+// (temp file + link) so every open — including two racing first-opens —
+// agrees on the count actually on disk.
 func pinShards(dir string, requested int) (int, error) {
 	return pinShardsAt(filepath.Join(dir, shardsMarker), requested)
 }
 
 func pinShardsAt(marker string, requested int) (int, error) {
-	if data, err := os.ReadFile(marker); err == nil {
-		var n int
-		if _, serr := fmt.Sscanf(strings.TrimSpace(string(data)), "%d", &n); serr == nil && n >= 1 && n <= MaxShards {
-			return n, nil
+	for attempt := 0; ; attempt++ {
+		if data, err := os.ReadFile(marker); err == nil {
+			var n int
+			if _, serr := fmt.Sscanf(strings.TrimSpace(string(data)), "%d", &n); serr == nil && n >= 1 && n <= MaxShards {
+				return n, nil
+			}
+			// An unreadable marker means the layout is unknown; refuse rather
+			// than guess and strand every existing entry in the wrong shard.
+			return 0, fmt.Errorf("store: corrupt shard marker %s: %q", marker, data)
 		}
-		// An unreadable marker means the layout is unknown; refuse rather
-		// than guess and strand every existing entry in the wrong shard.
-		return 0, fmt.Errorf("store: corrupt shard marker %s: %q", marker, data)
+		tmp, err := os.CreateTemp(filepath.Dir(marker), ".tmp-")
+		if err != nil {
+			return 0, fmt.Errorf("store: pin shards: %w", err)
+		}
+		_, werr := fmt.Fprintf(tmp, "%d\n", requested)
+		if cerr := tmp.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			os.Remove(tmp.Name())
+			return 0, fmt.Errorf("store: pin shards: %w", werr)
+		}
+		// Publish via link(2), not rename: link fails with EEXIST when a
+		// marker already landed, so when two first-opens race exactly one
+		// count ever reaches disk — rename's last-writer-wins would let both
+		// openers return different counts while one marker silently replaced
+		// the other. The loser loops once and reads the winner's marker.
+		lerr := os.Link(tmp.Name(), marker)
+		os.Remove(tmp.Name())
+		if lerr == nil {
+			return requested, nil
+		}
+		if !errors.Is(lerr, fs.ErrExist) || attempt > 0 {
+			return 0, fmt.Errorf("store: pin shards: %w", lerr)
+		}
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(marker), ".tmp-")
-	if err != nil {
-		return 0, fmt.Errorf("store: pin shards: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := fmt.Fprintf(tmp, "%d\n", requested); err != nil {
-		_ = tmp.Close() // the write error is the one worth reporting
-		return 0, fmt.Errorf("store: pin shards: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return 0, fmt.Errorf("store: pin shards: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), marker); err != nil {
-		return 0, fmt.Errorf("store: pin shards: %w", err)
-	}
-	return requested, nil
 }
 
 // Dir returns the store's root directory ("" for a nil store).
