@@ -43,8 +43,9 @@ racesmoke:
 	$(GO) test -race -run 'TestFiguresIdenticalAcrossWorkerCounts|TestResumeAfterCancelledRun|TestCorruptCacheEntriesDegradeToRecompute' ./internal/experiments
 	$(GO) test -race -run 'TestReplayerReusedMatchesFresh|TestReplaySuiteMatchesReplayAll|TestReplayAllParallelMatchesSequential' ./internal/pinball
 	$(GO) test -race -run 'TestForEachSharded|TestGroupDoCancelledComputerDoesNotPoisonWaiters|TestQueue' ./internal/sched
-	$(GO) test -race -run 'TestJSONLSinkConcurrentJobsDoNotTearLines|TestScopedSinksReceiveOnlyTheirJob' ./internal/obs
-	$(GO) test -race -run 'TestLoadSmoke|TestDedupIdenticalConfigs|TestAdmissionAndLoadShedding' ./internal/serve
+	$(GO) test -race -run 'TestJSONLSinkConcurrentJobsDoNotTearLines|TestScopedSinksReceiveOnlyTheirJob|TestHistogramConcurrentObserve' ./internal/obs
+	$(GO) test -race -run 'TestCollectorRingAndProbes|TestExpositionParsesAndIsCoherent' ./internal/telemetry
+	$(GO) test -race -run 'TestLoadSmoke|TestDedupIdenticalConfigs|TestAdmissionAndLoadShedding|TestTraceIDPropagation|TestStatsHistoryEndpoint' ./internal/serve
 	$(GO) test -race -run 'TestSelectorDeterminism|TestSelectorInvariants' ./internal/selector
 
 ## bench: one testing.B benchmark per paper table/figure, single iteration.
@@ -92,8 +93,10 @@ shootoutsmoke:
 ## duplicate deduplicates to the first job (no third job appears, the
 ## serve.dedup counter fires), the events feed streams parseable JSONL
 ## progress, the result bytes are identical to `cmd/experiments -json` for
-## the same configuration computed in a separate cache, and SIGTERM drains
-## the daemon cleanly (exit 0).
+## the same configuration computed in a separate cache, the /metrics
+## exposition shows the per-route request counters and serve_submit
+## advancing across the run (with latency buckets present), and SIGTERM
+## drains the daemon cleanly (exit 0).
 servesmoke:
 	@dir="$$(mktemp -d)"; set -e; \
 	trap 'rm -rf "$$dir"' EXIT; \
@@ -104,6 +107,7 @@ servesmoke:
 		addr="$$(sed -n 's/^specsimd: listening on \([0-9.:]*\).*/\1/p' "$$dir/daemon.log")"; \
 		[ -n "$$addr" ] && break; sleep 0.1; done; \
 	[ -n "$$addr" ] || { echo "servesmoke: daemon did not start"; cat "$$dir/daemon.log"; kill $$pid; exit 1; }; \
+	curl -fsS "$$addr/metrics" >"$$dir/metrics0.txt"; \
 	body='{"run":"tableII","scale":"small","benchmarks":["505.mcf_r","541.leela_r"]}'; \
 	curl -fsS -d "$$body" "$$addr/v1/jobs" >"$$dir/sub1.json"; \
 	curl -fsS -d "$$body" "$$addr/v1/jobs" >"$$dir/sub2.json"; \
@@ -124,10 +128,20 @@ servesmoke:
 		-bench 505.mcf_r,541.leela_r -cache-dir "$$dir/cache2" \
 		-json "$$dir/cli.json" >/dev/null; \
 	cmp "$$dir/daemon.json" "$$dir/cli.json" || { echo "servesmoke: daemon result differs from cmd/experiments"; exit 1; }; \
+	curl -fsS "$$addr/metrics" >"$$dir/metrics1.txt"; \
+	series='serve_http_requests{route="/v1/jobs",method="POST",code="2xx"}'; \
+	r0="$$(grep -F "$$series " "$$dir/metrics0.txt" | awk '{print $$2}')"; \
+	r1="$$(grep -F "$$series " "$$dir/metrics1.txt" | awk '{print $$2}')"; \
+	[ "$${r1:-0}" -gt "$${r0:-0}" ] || { echo "servesmoke: $$series did not advance ($$r0 -> $$r1)"; exit 1; }; \
+	s0="$$(grep '^serve_submit ' "$$dir/metrics0.txt" | awk '{print $$2}')"; \
+	s1="$$(grep '^serve_submit ' "$$dir/metrics1.txt" | awk '{print $$2}')"; \
+	[ "$${s1:-0}" -gt "$${s0:-0}" ] || { echo "servesmoke: serve_submit did not advance ($$s0 -> $$s1)"; exit 1; }; \
+	grep -F 'serve_http_request_seconds_bucket' "$$dir/metrics1.txt" | grep -qF 'le="+Inf"' \
+		|| { echo "servesmoke: no +Inf latency bucket in exposition"; exit 1; }; \
 	kill -TERM $$pid; wait $$pid || { echo "servesmoke: daemon exited non-zero after SIGTERM"; cat "$$dir/daemon.log"; exit 1; }; \
 	grep -q 'drained; bye' "$$dir/daemon.log" || { echo "servesmoke: no clean drain"; cat "$$dir/daemon.log"; exit 1; }; \
 	grep -A4 '"serve.dedup"' "$$dir/daemon.log" | grep -q '"value"' || { echo "servesmoke: serve.dedup counter never fired"; exit 1; }; \
-	echo "servesmoke: dedup, streaming, byte-identity and drain all verified"
+	echo "servesmoke: dedup, streaming, byte-identity, metrics scrape and drain all verified"
 
 ## cachesmoke: the persistent artifact store end to end — run the same
 ## experiment twice into a fresh cache dir; the second run must be served

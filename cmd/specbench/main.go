@@ -73,6 +73,9 @@ func list() error {
 // goTestBench runs one benchmark set and returns its combined output.
 // Output is also streamed to w (pass io.Discard to keep it quiet).
 func goTestBench(t perf.Target, benchtime string, count int, w io.Writer) ([]byte, error) {
+	if t.Benchtime != "" {
+		benchtime = t.Benchtime
+	}
 	args := []string{"test", "-run", "^$", "-bench", t.Pattern,
 		"-benchtime", benchtime, "-benchmem"}
 	if count > 1 {
@@ -108,8 +111,12 @@ func measure(benchtime string, count int) (*perf.Snapshot, error) {
 		if !t.Record {
 			continue
 		}
+		bt := benchtime
+		if t.Benchtime != "" {
+			bt = t.Benchtime
+		}
 		fmt.Fprintf(os.Stderr, "specbench: running %s (%s -bench '%s', -benchtime %s)\n",
-			t.Name, t.Pkg, t.Pattern, benchtime)
+			t.Name, t.Pkg, t.Pattern, bt)
 		out, err := goTestBench(t, benchtime, count, io.Discard)
 		if err != nil {
 			return nil, err

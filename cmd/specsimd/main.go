@@ -18,6 +18,13 @@
 // small -json FILE` against the same store. Identical submissions dedup to
 // one computation; overload answers 503 with Retry-After.
 //
+// Telemetry: GET /metrics is a Prometheus text exposition of every counter,
+// gauge and latency histogram; GET /v1/stats/history is the last ten
+// minutes of runtime/daemon gauges sampled at 1 Hz; every response carries
+// an X-Trace-Id. -access-log writes one JSON line per request, -debug-addr
+// exposes net/http/pprof on a separate (private) listener, and
+// -no-telemetry turns the whole layer off.
+//
 // Shutdown: SIGTERM (or SIGINT) stops accepting work and drains in-flight
 // jobs so every completed stage reaches the store; a second signal or the
 // -drain-timeout deadline hard-cancels whatever is still running (the store
@@ -29,8 +36,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -77,6 +86,15 @@ func run(ctx context.Context, hardCancel context.CancelFunc, sig <-chan os.Signa
 	maxClient := fs.Int("max-client", 16, "live (queued+running) jobs one client may hold")
 	drainTimeout := fs.Duration("drain-timeout", time.Minute,
 		"how long a shutdown signal waits for in-flight jobs before hard-cancelling them")
+	debugAddr := fs.String("debug-addr", "",
+		"listen address for net/http/pprof profiling endpoints (empty = off; "+
+			"bind to localhost — the profiles are not for public exposure)")
+	accessLog := fs.String("access-log", "",
+		`access-log destination: a file path (appended), "-" for stderr, empty for off`)
+	noTelemetry := fs.Bool("no-telemetry", false,
+		"disable request telemetry, /metrics content, access logs and the stats collector")
+	statsInterval := fs.Duration("stats-interval", time.Second, "self-monitoring sampling period")
+	statsHistory := fs.Int("stats-history", 600, "snapshots retained for /v1/stats/history")
 	obsFlags := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -102,15 +120,66 @@ func run(ctx context.Context, hardCancel context.CancelFunc, sig <-chan os.Signa
 		}
 	}()
 
+	var accessSink *obs.AccessSink
+	if *accessLog != "" && !*noTelemetry {
+		if *accessLog == "-" {
+			// Hide os.Stderr's Closer so sink.Close never closes stderr.
+			accessSink = obs.NewAccessSink(struct{ io.Writer }{os.Stderr})
+		} else {
+			f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fmt.Errorf("open access log: %w", err)
+			}
+			accessSink = obs.NewAccessSink(f)
+		}
+		defer func() {
+			if cerr := accessSink.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "specsimd: access log:", cerr)
+			}
+		}()
+	}
+
 	srv, err := serve.New(ctx, serve.Config{
-		Store:        st,
-		Workers:      *workers,
-		JobWorkers:   *jobWorkers,
-		QueueDepth:   *queueDepth,
-		MaxPerClient: *maxClient,
+		Store:            st,
+		Workers:          *workers,
+		JobWorkers:       *jobWorkers,
+		QueueDepth:       *queueDepth,
+		MaxPerClient:     *maxClient,
+		AccessLog:        accessSink,
+		DisableTelemetry: *noTelemetry,
+		StatsInterval:    *statsInterval,
+		StatsHistory:     *statsHistory,
 	})
 	if err != nil {
 		return err
+	}
+
+	// The profiling listener is separate from the API listener on purpose:
+	// pprof handlers expose heap contents and must never ride on the
+	// publicly reachable address. Off unless -debug-addr is set.
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dhs := &http.Server{Handler: dmux}
+		go func() {
+			if derr := dhs.Serve(dln); derr != nil && !errors.Is(derr, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "specsimd: debug server:", derr)
+			}
+		}()
+		defer func() {
+			if cerr := dhs.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "specsimd: debug server:", cerr)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "specsimd: pprof on http://%s/debug/pprof/\n", dln.Addr())
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

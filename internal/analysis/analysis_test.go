@@ -41,6 +41,7 @@ func TestCtxflowGolden(t *testing.T)    { runGolden(t, "ctxflow") }
 func TestSpanleakGolden(t *testing.T)   { runGolden(t, "spanleak") }
 func TestClosecheckGolden(t *testing.T) { runGolden(t, "closecheck") }
 func TestCachekeyGolden(t *testing.T)   { runGolden(t, "cachekey") }
+func TestMetricnameGolden(t *testing.T) { runGolden(t, "metricname") }
 
 // TestTreeClean is the self-run: the full analyzer set over the real module
 // must report nothing. This is what `make lint` enforces in CI terms, pinned

@@ -16,6 +16,7 @@ func All() []*Analyzer {
 		Spanleak,
 		Closecheck,
 		Cachekey,
+		Metricname,
 	}
 }
 

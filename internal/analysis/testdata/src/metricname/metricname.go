@@ -1,0 +1,44 @@
+// Package metricname is the metricname fixture: constant names handed to
+// the obs registry must be 2-3 lowercase dotted segments (an optional
+// {label="value"} suffix is stripped first); runtime-built names are out of
+// the analyzer's static reach and stay silent.
+package metricname
+
+import (
+	"fmt"
+
+	"specsampling/internal/obs"
+)
+
+// badConstName is checked where it is interned, not where it is declared.
+const badConstName = "Queue.Depth"
+
+// goodConstName folds to a valid family at the call site.
+const goodConstName = "queue" + ".depth"
+
+// Bad names: wrong case, too few or too many segments, empty segments.
+var (
+	badCase     = obs.GetCounter("Serve.Requests")           // want "metricname: metric name \"Serve.Requests\" is not subsystem"
+	badBare     = obs.GetCounter("queue")                    // want "metricname: metric name \"queue\" is not subsystem"
+	badDeep     = obs.GetGauge("a.b.c.d")                    // want "metricname: metric name \"a.b.c.d\" is not subsystem"
+	badEmptySeg = obs.GetHistogram("serve..requests")        // want "metricname: metric name \"serve..requests\" is not subsystem"
+	badConst    = obs.GetGauge(badConstName)                 // want "metricname: metric name \"Queue.Depth\" is not subsystem"
+	badLabelled = obs.GetCounter("Serve.Hits{code=\"2xx\"}") // want "metricname: metric name \"Serve.Hits.* is not subsystem"
+	badBraces   = obs.GetCounter("serve.hits{code")          // want "metricname: .* unterminated label block"
+)
+
+// Good names: two and three segments, underscores, digits after the first
+// character, label suffixes, constant folding.
+var (
+	goodTwo      = obs.GetCounter("store.hit")
+	goodThree    = obs.GetHistogram("serve.http.request_seconds")
+	goodDigits   = obs.GetGauge("cache.l1_misses")
+	goodConst    = obs.GetGauge(goodConstName)
+	goodLabelled = obs.GetCounter("serve.http.requests{route=\"/v1/jobs\",code=\"2xx\"}")
+)
+
+// GoodDynamic builds the name at runtime; the analyzer cannot fold it and
+// must not guess.
+func GoodDynamic(route string) *obs.Counter {
+	return obs.GetCounter(fmt.Sprintf("serve.http.requests{route=%q}", route))
+}

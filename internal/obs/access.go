@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// AccessRecord is one completed HTTP request, as the serving layer reports
+// it: what was asked, who asked, what happened, and how long it took. Route
+// is the mux pattern ("/v1/jobs/{id}"), Path the concrete URL path — the
+// pair lets log consumers aggregate by route while retaining the instance.
+type AccessRecord struct {
+	Time     time.Time
+	Method   string
+	Route    string
+	Path     string
+	Status   int
+	Bytes    int64
+	Duration time.Duration
+	Client   string
+	TraceID  string
+}
+
+// AccessSink writes structured one-line JSON access logs: one record per
+// completed request, flushed immediately so the file is live-tailable.
+// Records are serialized whole under the sink's lock — concurrent handlers
+// never tear lines. Like JSONLSink, the first write error is recorded and
+// surfaced from Close so a full disk never silently truncates the log.
+type AccessSink struct {
+	mu   sync.Mutex
+	w    *bufio.Writer
+	c    io.Closer
+	werr error
+}
+
+// NewAccessSink wraps w. If w is an io.Closer (a file), Close closes it.
+func NewAccessSink(w io.Writer) *AccessSink {
+	s := &AccessSink{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// accessLine is the wire shape of one record.
+type accessLine struct {
+	Type   string `json:"type"`
+	Time   string `json:"t"`
+	Method string `json:"method"`
+	Route  string `json:"route"`
+	Path   string `json:"path"`
+	Status int    `json:"status"`
+	Bytes  int64  `json:"bytes"`
+	DurUS  int64  `json:"dur_us"`
+	Client string `json:"client,omitempty"`
+	Trace  string `json:"trace,omitempty"`
+}
+
+// Log writes one access record as a single JSON line.
+func (s *AccessSink) Log(rec AccessRecord) {
+	blob, err := json.Marshal(accessLine{
+		Type:   "access",
+		Time:   rec.Time.UTC().Format(time.RFC3339Nano),
+		Method: rec.Method,
+		Route:  rec.Route,
+		Path:   rec.Path,
+		Status: rec.Status,
+		Bytes:  rec.Bytes,
+		DurUS:  rec.Duration.Microseconds(),
+		Client: rec.Client,
+		Trace:  rec.TraceID,
+	})
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, werr := s.w.Write(blob); werr != nil && s.werr == nil {
+		s.werr = werr
+	}
+	if werr := s.w.WriteByte('\n'); werr != nil && s.werr == nil {
+		s.werr = werr
+	}
+	if werr := s.w.Flush(); werr != nil && s.werr == nil {
+		s.werr = werr
+	}
+}
+
+// Close flushes and closes the underlying file if there is one, surfacing
+// the first error the sink encountered.
+func (s *AccessSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.werr
+	if ferr := s.w.Flush(); err == nil {
+		err = ferr
+	}
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -69,3 +69,15 @@ func BenchmarkCounterAdd(b *testing.B) {
 		c.Add(1)
 	}
 }
+
+// BenchmarkHistogramObserve is the bucketed-histogram hot path: the
+// per-request latency record every instrumented route pays. Must stay
+// allocation-free (also pinned by TestDisabledFastPathAllocs) and within a
+// few nanoseconds of the pre-bucketed mutex histogram.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := GetHistogram("bench.histogram")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 0.001)
+	}
+}

@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// findMetric pulls one metric out of a snapshot by name.
+func findMetric(t *testing.T, snap []MetricValue, name string) MetricValue {
+	t.Helper()
+	for _, mv := range snap {
+		if mv.Name == name {
+			return mv
+		}
+	}
+	t.Fatalf("metric %q not in snapshot", name)
+	return MetricValue{}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := GetHistogram("histtest.buckets")
+	defer ResetMetrics()
+	h.Observe(0.00005) // below the first bound -> bucket 0
+	h.Observe(0.0001)  // on the first bound -> bucket 0 (le semantics)
+	h.Observe(0.3)     // (0.25, 0.5]
+	h.Observe(42)      // (25, 50]
+	h.Observe(5e8)     // above the last bound -> overflow
+
+	mv := findMetric(t, Snapshot(), "histtest.buckets")
+	if mv.Count != 5 {
+		t.Fatalf("count = %d, want 5", mv.Count)
+	}
+	if len(mv.Buckets) != len(histBounds)+1 {
+		t.Fatalf("len(buckets) = %d, want %d", len(mv.Buckets), len(histBounds)+1)
+	}
+	var total int64
+	for _, n := range mv.Buckets {
+		total += n
+	}
+	if total != mv.Count {
+		t.Errorf("bucket sum = %d, count = %d; must match", total, mv.Count)
+	}
+	if mv.Buckets[0] != 2 {
+		t.Errorf("bucket[0] = %d, want 2 (5e-5 and the 1e-4 boundary)", mv.Buckets[0])
+	}
+	if mv.Buckets[len(mv.Buckets)-1] != 1 {
+		t.Errorf("overflow bucket = %d, want 1", mv.Buckets[len(mv.Buckets)-1])
+	}
+	for i, bound := range histBounds {
+		switch {
+		case bound >= 0.3 && (i == 0 || histBounds[i-1] < 0.3):
+			if mv.Buckets[i] != 1 {
+				t.Errorf("bucket le=%g = %d, want 1 (0.3)", bound, mv.Buckets[i])
+			}
+		case bound >= 42 && (i == 0 || histBounds[i-1] < 42):
+			if mv.Buckets[i] != 1 {
+				t.Errorf("bucket le=%g = %d, want 1 (42)", bound, mv.Buckets[i])
+			}
+		}
+	}
+	if mv.Min != 0.00005 || mv.Max != 5e8 {
+		t.Errorf("min/max = %g/%g, want 5e-05/5e+08", mv.Min, mv.Max)
+	}
+}
+
+func TestHistogramQuantileDerivable(t *testing.T) {
+	h := GetHistogram("histtest.quantile")
+	defer ResetMetrics()
+	// 100 observations spread 1..100 (ms-scale): true p50 = 50, p99 = 99.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	mv := findMetric(t, Snapshot(), "histtest.quantile")
+	p50 := mv.Quantile(0.50)
+	p99 := mv.Quantile(0.99)
+	// The estimate must land inside the bucket covering the true quantile:
+	// 50 lies in (25, 50], 99 in (50, 100].
+	if p50 <= 25 || p50 > 50 {
+		t.Errorf("p50 = %g, want in (25, 50]", p50)
+	}
+	if p99 <= 50 || p99 > 100 {
+		t.Errorf("p99 = %g, want in (50, 100]", p99)
+	}
+	if p50 > p99 {
+		t.Errorf("p50 %g > p99 %g; quantiles must be monotone", p50, p99)
+	}
+
+	// A single-valued distribution clamps to the observed value exactly.
+	one := GetHistogram("histtest.single")
+	one.Observe(7)
+	mv = findMetric(t, Snapshot(), "histtest.single")
+	if got := mv.Quantile(0.5); got != 7 {
+		t.Errorf("single-value p50 = %g, want exactly 7 (min/max clamp)", got)
+	}
+	if got := mv.Quantile(0.99); got != 7 {
+		t.Errorf("single-value p99 = %g, want exactly 7 (min/max clamp)", got)
+	}
+}
+
+// TestHistogramEmptyMinMaxZero is the satellite regression: an empty
+// histogram — never observed, or zeroed by ResetMetrics — must report
+// min = max = 0, never stale values.
+func TestHistogramEmptyMinMaxZero(t *testing.T) {
+	defer ResetMetrics()
+	GetHistogram("histtest.empty")
+	fresh := findMetric(t, Snapshot(), "histtest.empty")
+	if fresh.Min != 0 || fresh.Max != 0 || fresh.Count != 0 {
+		t.Errorf("fresh histogram min/max/count = %g/%g/%d, want all 0", fresh.Min, fresh.Max, fresh.Count)
+	}
+	h := GetHistogram("histtest.reset")
+	h.Observe(-3.5)
+	h.Observe(1e6)
+	ResetMetrics()
+	mv := findMetric(t, Snapshot(), "histtest.reset")
+	if mv.Min != 0 || mv.Max != 0 || mv.Count != 0 || mv.Sum != 0 {
+		t.Errorf("after reset min/max/count/sum = %g/%g/%d/%g, want all 0", mv.Min, mv.Max, mv.Count, mv.Sum)
+	}
+	if len(mv.Buckets) != 0 {
+		t.Errorf("after reset buckets = %v, want omitted", mv.Buckets)
+	}
+}
+
+// TestSnapshotSortedByName is the satellite regression for deterministic
+// snapshot order: whatever the registration order, Snapshot sorts by name.
+func TestSnapshotSortedByName(t *testing.T) {
+	defer ResetMetrics()
+	GetCounter("histtest.zz_last")
+	GetGauge("histtest.aa_first")
+	GetHistogram("histtest.mm_middle")
+	snap := Snapshot()
+	if !sort.SliceIsSorted(snap, func(i, j int) bool { return snap[i].Name < snap[j].Name }) {
+		var names []string
+		for _, mv := range snap {
+			names = append(names, mv.Name)
+		}
+		t.Fatalf("snapshot not sorted by name: %v", names)
+	}
+}
+
+func TestBucketBoundsMonotone(t *testing.T) {
+	bounds := BucketBounds()
+	if len(bounds) != len(histBounds) {
+		t.Fatalf("BucketBounds length %d, want %d", len(bounds), len(histBounds))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			t.Fatalf("bounds not strictly increasing at %d: %g then %g", i, bounds[i-1], bounds[i])
+		}
+	}
+	// Index function agrees with a linear scan for a spread of values.
+	for _, v := range []float64{-1, 0, 1e-9, 0.0001, 0.00011, 0.42, 1, 999, 1e7, 1e7 + 1, math.Inf(1)} {
+		want := len(bounds)
+		for i, b := range bounds {
+			if b >= v {
+				want = i
+				break
+			}
+		}
+		if got := bucketIndex(v); got != want {
+			t.Errorf("bucketIndex(%g) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := GetHistogram("histtest.concurrent")
+	defer ResetMetrics()
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%100) + 0.5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	mv := findMetric(t, Snapshot(), "histtest.concurrent")
+	if mv.Count != workers*per {
+		t.Fatalf("count = %d, want %d", mv.Count, workers*per)
+	}
+	var total int64
+	for _, n := range mv.Buckets {
+		total += n
+	}
+	if total != mv.Count {
+		t.Fatalf("bucket sum %d != count %d", total, mv.Count)
+	}
+}
+
+func TestAccessSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewAccessSink(&buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sink.Log(AccessRecord{
+				Time:     time.Unix(1700000000, 0),
+				Method:   "GET",
+				Route:    "/v1/jobs/{id}",
+				Path:     "/v1/jobs/j000001",
+				Status:   200,
+				Bytes:    512,
+				Duration: 1500 * time.Microsecond,
+				Client:   "test",
+				TraceID:  "abc123",
+			})
+		}(i)
+	}
+	wg.Wait()
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4", len(lines))
+	}
+	for _, line := range lines {
+		var rec map[string]interface{}
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("unparseable access line %q: %v", line, err)
+		}
+		if rec["type"] != "access" || rec["route"] != "/v1/jobs/{id}" || rec["status"] != float64(200) {
+			t.Errorf("unexpected record: %v", rec)
+		}
+		if rec["dur_us"] != float64(1500) || rec["trace"] != "abc123" {
+			t.Errorf("unexpected timing/trace fields: %v", rec)
+		}
+	}
+}

@@ -36,18 +36,76 @@ func (g *Gauge) Set(n int64) { g.v.Store(n) }
 // Value returns the last set value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
-// Histogram accumulates a distribution as count/sum/min/max. Observations
-// are coarse pipeline events (a candidate-k run, a replay batch), so a
-// mutex is fine here.
+// histBounds are the fixed exponential bucket upper bounds every Histogram
+// shares: a 1–2.5–5 series per decade spanning 1e-4 … 1e7, wide enough to
+// hold sub-millisecond request latencies in seconds and coarse pipeline
+// timings in milliseconds in the same registry. Sharing one fixed scheme
+// keeps Observe allocation-free (the counts live in a fixed-size array
+// inside the Histogram) and makes every exposition deterministic. An
+// observation lands in the first bucket whose bound is >= the value
+// (cumulative "le" semantics are applied at snapshot-consumption time);
+// values above the last bound are counted in a dedicated overflow slot.
+var histBounds = [...]float64{
+	0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5,
+	10, 25, 50,
+	100, 250, 500,
+	1000, 2500, 5000,
+	10000, 25000, 50000,
+	100000, 250000, 500000,
+	1e6, 2.5e6, 5e6,
+	1e7,
+}
+
+// numBuckets is the finite bounds plus the overflow slot.
+const numBuckets = len(histBounds) + 1
+
+// BucketBounds returns the shared exponential bucket upper bounds (a copy;
+// the overflow bucket is implicit — +Inf).
+func BucketBounds() []float64 {
+	out := make([]float64, len(histBounds))
+	copy(out, histBounds[:])
+	return out
+}
+
+// bucketIndex maps a value to its bucket: the first bound >= v, or the
+// overflow slot. Binary search over the fixed table — no allocation, a
+// handful of compares.
+func bucketIndex(v float64) int {
+	lo, hi := 0, len(histBounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if histBounds[mid] >= v {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo // == len(histBounds) means overflow
+}
+
+// Histogram accumulates a distribution as count/sum/min/max plus fixed
+// exponential buckets (histBounds), from which p50/p90/p99 are derivable.
+// Observe stays allocation-free — the bucket counts are an inline array —
+// and a single mutex keeps snapshots internally consistent (sum, count and
+// buckets always describe the same set of observations), which the
+// concurrent-scrape tests pin. Observations range from coarse pipeline
+// events to per-request latencies; an uncontended mutex lock is a few
+// nanoseconds and never allocates.
 type Histogram struct {
 	mu       sync.Mutex
 	count    int64
 	sum      float64
 	min, max float64
+	buckets  [numBuckets]int64
 }
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
+	i := bucketIndex(v)
 	h.mu.Lock()
 	if h.count == 0 || v < h.min {
 		h.min = v
@@ -57,14 +115,19 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.count++
 	h.sum += v
+	h.buckets[i]++
 	h.mu.Unlock()
 }
 
-// snapshot returns the histogram's aggregates.
-func (h *Histogram) snapshot() (count int64, sum, min, max float64) {
+// snapshot returns the histogram's aggregates. min and max are 0 (never
+// stale values from before a reset) when the histogram is empty.
+func (h *Histogram) snapshot() (count int64, sum, min, max float64, buckets [numBuckets]int64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.count, h.sum, h.min, h.max
+	if h.count == 0 {
+		return 0, h.sum, 0, 0, h.buckets
+	}
+	return h.count, h.sum, h.min, h.max, h.buckets
 }
 
 // registry interns metric handles by name.
@@ -109,6 +172,7 @@ func ResetMetrics() {
 		case *Histogram:
 			m.mu.Lock()
 			m.count, m.sum, m.min, m.max = 0, 0, 0, 0
+			m.buckets = [numBuckets]int64{}
 			m.mu.Unlock()
 		}
 		return true
@@ -116,16 +180,74 @@ func ResetMetrics() {
 }
 
 // MetricValue is one metric's state in a Snapshot. Kind is "counter",
-// "gauge" or "histogram"; Count/Sum/Min/Max/Mean are histogram-only.
+// "gauge" or "histogram"; Count/Sum/Min/Max/Mean/Buckets are
+// histogram-only. Buckets holds per-bucket (non-cumulative) counts aligned
+// with BucketBounds(), with one extra trailing overflow slot for
+// observations above the last bound.
 type MetricValue struct {
-	Name  string  `json:"name"`
-	Kind  string  `json:"kind"`
-	Value int64   `json:"value,omitempty"`
-	Count int64   `json:"count,omitempty"`
-	Sum   float64 `json:"sum,omitempty"`
-	Min   float64 `json:"min,omitempty"`
-	Max   float64 `json:"max,omitempty"`
-	Mean  float64 `json:"mean,omitempty"`
+	Name    string  `json:"name"`
+	Kind    string  `json:"kind"`
+	Value   int64   `json:"value,omitempty"`
+	Count   int64   `json:"count,omitempty"`
+	Sum     float64 `json:"sum,omitempty"`
+	Min     float64 `json:"min,omitempty"`
+	Max     float64 `json:"max,omitempty"`
+	Mean    float64 `json:"mean,omitempty"`
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+// Quantile derives the q-quantile (0 <= q <= 1) of a histogram metric from
+// its buckets by linear interpolation inside the covering bucket — the
+// standard exposition-side estimate (what PromQL's histogram_quantile
+// computes). The result is clamped to the observed min/max, so p50/p99 of
+// a single-valued distribution is that value exactly. Returns 0 for empty
+// or non-histogram metrics.
+func (mv MetricValue) Quantile(q float64) float64 {
+	if mv.Kind != "histogram" || mv.Count == 0 || len(mv.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(mv.Count)
+	var cum float64
+	est := mv.Max
+	for i, n := range mv.Buckets {
+		if n == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(n)
+		if cum < rank {
+			continue
+		}
+		if i >= len(histBounds) {
+			// Overflow bucket: no finite upper bound to interpolate toward.
+			est = mv.Max
+			break
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = histBounds[i-1]
+		}
+		upper := histBounds[i]
+		frac := 0.0
+		if n > 0 {
+			frac = (rank - prev) / float64(n)
+		}
+		est = lower + (upper-lower)*frac
+		break
+	}
+	if est < mv.Min {
+		est = mv.Min
+	}
+	if est > mv.Max {
+		est = mv.Max
+	}
+	return est
 }
 
 // Snapshot returns every registered metric, sorted by name — the
@@ -143,9 +265,11 @@ func Snapshot() []MetricValue {
 			mv.Value = m.Value()
 		case *Histogram:
 			mv.Kind = "histogram"
-			mv.Count, mv.Sum, mv.Min, mv.Max = m.snapshot()
+			var buckets [numBuckets]int64
+			mv.Count, mv.Sum, mv.Min, mv.Max, buckets = m.snapshot()
 			if mv.Count > 0 {
 				mv.Mean = mv.Sum / float64(mv.Count)
+				mv.Buckets = buckets[:]
 			}
 			if math.IsNaN(mv.Mean) || math.IsInf(mv.Mean, 0) {
 				mv.Mean = 0

@@ -16,6 +16,11 @@ type Target struct {
 	// Smoke-only sets (Record false) are run once to catch bit-rot but are
 	// too small or too incidental to gate on.
 	Record bool
+	// Benchtime overrides the specbench -benchtime flag for this set.
+	// Fast benchmarks need a duration ("100ms") so the sample is large
+	// enough to be stable; an iteration count ("2x") only suits sets whose
+	// every benchmark runs long enough to self-average.
+	Benchtime string
 }
 
 // Targets returns the benchmark sets in run order.
@@ -24,12 +29,17 @@ func Targets() []Target {
 		// The paper-facing macro benchmarks: the analysis kernels
 		// (BenchmarkKMeansRun, BenchmarkProfile, BenchmarkSuiteAnalyze) and
 		// every Table/Fig reproduction bench. These are the perf
-		// trajectory.
+		// trajectory. The set spans microseconds (the table formatters) to
+		// seconds (the full-suite figures), so it uses a duration benchtime:
+		// the µs-scale benches get thousands of iterations (an iteration
+		// count like "2x" leaves them at scheduler-noise mercy) while the
+		// seconds-scale ones still complete a full iteration.
 		{
-			Name:    "paper",
-			Pkg:     ".",
-			Pattern: "^(BenchmarkKMeansRun|BenchmarkProfile|BenchmarkSuiteAnalyze|BenchmarkTable|BenchmarkFig)",
-			Record:  true,
+			Name:      "paper",
+			Pkg:       ".",
+			Pattern:   "^(BenchmarkKMeansRun|BenchmarkProfile|BenchmarkSuiteAnalyze|BenchmarkTable|BenchmarkFig)",
+			Record:    true,
+			Benchtime: "300ms",
 		},
 		// Everything else at the repository root (ablation benches):
 		// smoke-only.
@@ -48,6 +58,24 @@ func Targets() []Target {
 			Pkg:     "./internal/selector",
 			Pattern: "^Benchmark(Stratified|RankedSet)Select$",
 			Record:  true,
+		},
+		// The telemetry hot paths: bucketed-histogram Observe is on every
+		// instrumented request, and the full-registry Prometheus exposition
+		// is what a scraper pays per poll. Both join the recorded baseline
+		// so a regression in either fails benchdiff.
+		{
+			Name:      "obs-histogram",
+			Pkg:       "./internal/obs",
+			Pattern:   "^BenchmarkHistogramObserve$",
+			Record:    true,
+			Benchtime: "100ms",
+		},
+		{
+			Name:      "telemetry",
+			Pkg:       "./internal/telemetry",
+			Pattern:   "^BenchmarkMetricsExposition$",
+			Record:    true,
+			Benchtime: "100ms",
 		},
 		// Micro benchmarks inside internal packages, including the
 		// BenchmarkObsOverhead disabled-path guard: smoke-only.

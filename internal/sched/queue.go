@@ -16,11 +16,15 @@ var (
 	ErrQueueClosed = errors.New("sched: queue closed")
 )
 
-// Queue metrics: accepted/rejected submissions and completed jobs.
+// Queue metrics: accepted/rejected submissions, completed jobs, and the
+// live waiting-depth gauge the telemetry collector samples. The gauge is
+// refreshed on both edges (enqueue and dequeue) so it tracks the channel
+// occupancy without a polling goroutine of its own.
 var (
 	queueAccepted = obs.GetCounter("sched.queue.accepted")
 	queueRejected = obs.GetCounter("sched.queue.rejected")
 	queueDone     = obs.GetCounter("sched.queue.done")
+	queueDepth    = obs.GetGauge("sched.queue.depth")
 )
 
 // Queue is a bounded FIFO work queue drained by a fixed worker pool — the
@@ -59,6 +63,7 @@ func NewQueue(ctx context.Context, workers, depth int) *Queue {
 		go func() {
 			defer q.wg.Done()
 			for fn := range q.jobs {
+				queueDepth.Set(int64(len(q.jobs)))
 				fn(q.ctx)
 				queueDone.Add(1)
 			}
@@ -80,6 +85,7 @@ func (q *Queue) Submit(fn func(context.Context)) error {
 	select {
 	case q.jobs <- fn:
 		queueAccepted.Add(1)
+		queueDepth.Set(int64(len(q.jobs)))
 		return nil
 	default:
 		queueRejected.Add(1)

@@ -119,6 +119,7 @@ type Job struct {
 	key    string
 	req    JobRequest
 	client string
+	trace  string // trace id of the submitting request ("" without telemetry)
 	events *eventLog
 
 	mu       sync.Mutex
@@ -130,12 +131,13 @@ type Job struct {
 	finished time.Time
 }
 
-func newJob(id, key, client string, req JobRequest, eventCap int) *Job {
+func newJob(id, key, client, trace string, req JobRequest, eventCap int) *Job {
 	return &Job{
 		id:      id,
 		key:     key,
 		req:     req,
 		client:  client,
+		trace:   trace,
 		events:  newEventLog(eventCap),
 		state:   StateQueued,
 		created: time.Now(),
@@ -174,6 +176,7 @@ func (j *Job) failed() bool {
 type Status struct {
 	ID         string   `json:"id"`
 	Key        string   `json:"key"`
+	Trace      string   `json:"trace_id,omitempty"`
 	State      string   `json:"state"`
 	Dedup      bool     `json:"dedup,omitempty"`
 	Run        string   `json:"run"`
@@ -194,6 +197,7 @@ func (j *Job) status(dedup bool) Status {
 	st := Status{
 		ID:         j.id,
 		Key:        j.key,
+		Trace:      j.trace,
 		State:      j.state,
 		Dedup:      dedup,
 		Run:        j.req.Run,
@@ -302,6 +306,14 @@ func (l *eventLog) closeLog() {
 func (l *eventLog) wake() {
 	close(l.change)
 	l.change = make(chan struct{})
+}
+
+// droppedCount reports how many lines this log has shed to overflow; the
+// self-monitoring probe sums it across jobs into serve.events.dropped.
+func (l *eventLog) droppedCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
 }
 
 // since returns the lines at logical indices >= from, the next index to

@@ -13,15 +13,18 @@ import (
 	"time"
 
 	"specsampling/internal/store"
+	"specsampling/internal/telemetry"
 )
 
 // TestLoadSmoke is the daemon's high-traffic acceptance check: one job over
 // the full 29-benchmark suite warms the store, then hundreds of concurrent
-// requests — status polls, result fetches and identical resubmissions —
-// hammer the server. Every response must be well-formed and correct (under
-// -race this also pins the server's synchronization), result bytes must be
-// identical across concurrent fetches, and the warm-cache status/result p99
-// latencies are logged for EXPERIMENTS.md.
+// requests — status polls, result fetches, identical resubmissions and
+// /metrics scrapes — hammer the server. Every response must be well-formed
+// and correct (under -race this also pins the server's and the metric
+// registry's synchronization), result bytes must be identical across
+// concurrent fetches, every exposition must parse and be internally
+// consistent even when scraped mid-traffic, and the warm-cache
+// status/result p99 latencies are logged for EXPERIMENTS.md.
 func TestLoadSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("load smoke skipped in -short mode")
@@ -43,8 +46,9 @@ func TestLoadSmoke(t *testing.T) {
 	}
 	canonical := getResult(t, hts.URL, sub.ID)
 
-	// Load: 60 clients × 10 requests, round-robining status, result and
-	// dedup-submit — ≥500 concurrent requests against the warm cache.
+	// Load: 60 clients × 10 requests, round-robining status, result,
+	// dedup-submit and metrics scrape — ≥500 concurrent requests against
+	// the warm cache.
 	const clients, perClient = 60, 10
 	type sample struct {
 		kind string
@@ -67,7 +71,7 @@ func TestLoadSmoke(t *testing.T) {
 				localErrs = append(localErrs, fmt.Sprintf(format, args...))
 			}
 			for i := 0; i < perClient; i++ {
-				switch i % 3 {
+				switch i % 4 {
 				case 0: // status poll
 					t0 := time.Now()
 					r, err := httpc.Get(hts.URL + "/v1/jobs/" + sub.ID)
@@ -111,6 +115,21 @@ func TestLoadSmoke(t *testing.T) {
 					if r.StatusCode != http.StatusOK || derr != nil || got.ID != sub.ID || !got.Dedup {
 						fail("dedup submit: code=%d err=%v id=%s dedup=%v", r.StatusCode, derr, got.ID, got.Dedup)
 					}
+				case 3: // metrics scrape: must parse and be internally coherent
+					t0 := time.Now()
+					r, err := httpc.Get(hts.URL + "/metrics")
+					if err != nil {
+						fail("metrics: %v", err)
+						continue
+					}
+					blob, _ := io.ReadAll(r.Body)
+					r.Body.Close()
+					local = append(local, sample{"metrics", time.Since(t0)})
+					if r.StatusCode != http.StatusOK {
+						fail("metrics code %d", r.StatusCode)
+					} else if errs := telemetry.CheckExposition(string(blob)); len(errs) > 0 {
+						fail("incoherent exposition under load: %s", errs[0])
+					}
 				}
 			}
 			mu.Lock()
@@ -138,7 +157,7 @@ func TestLoadSmoke(t *testing.T) {
 		t.Errorf("after load, jobs = %+v; want exactly the one warm job, done", stats.Jobs)
 	}
 
-	for _, kind := range []string{"status", "result"} {
+	for _, kind := range []string{"status", "result", "metrics"} {
 		var ds []time.Duration
 		for _, s := range samples {
 			if s.kind == kind {

@@ -19,7 +19,14 @@
 //	GET  /v1/jobs/{id}/events   live JSONL progress stream
 //	GET  /v1/selectors          registered region-selection backends
 //	GET  /v1/stats              queue depth and per-state job counts
-//	GET  /healthz               liveness
+//	GET  /v1/stats/history      self-monitoring snapshot ring (JSON)
+//	GET  /metrics               Prometheus text exposition
+//	GET  /healthz               liveness (503 once draining)
+//
+// Every route carries request telemetry (see telemetry.go): a trace id per
+// request, per-route latency histograms and status-class counters, and
+// optional structured access logs. A background collector samples runtime
+// and daemon gauges into the /v1/stats/history ring.
 package serve
 
 import (
@@ -32,12 +39,14 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"time"
 
 	"specsampling/internal/experiments"
 	"specsampling/internal/obs"
 	"specsampling/internal/sched"
 	"specsampling/internal/selector"
 	"specsampling/internal/store"
+	"specsampling/internal/telemetry"
 )
 
 var (
@@ -68,6 +77,19 @@ type Config struct {
 	MaxPerClient int
 	// EventBuffer bounds each job's retained event lines (default 4096).
 	EventBuffer int
+	// AccessLog, when non-nil, receives one structured line per completed
+	// request. The sink is the caller's to close (after the HTTP server has
+	// shut down); the Server only writes to it.
+	AccessLog *obs.AccessSink
+	// DisableTelemetry turns off request instrumentation, access logging
+	// and the self-monitoring collector. /metrics and /v1/stats/history
+	// stay mounted but stop advancing.
+	DisableTelemetry bool
+	// StatsInterval is the self-monitoring sampling period (default 1s).
+	StatsInterval time.Duration
+	// StatsHistory is how many snapshots /v1/stats/history retains
+	// (default 600 — ten minutes at the default interval).
+	StatsHistory int
 }
 
 func (c Config) normalize() Config {
@@ -83,13 +105,22 @@ func (c Config) normalize() Config {
 	if c.EventBuffer <= 0 {
 		c.EventBuffer = 4096
 	}
+	if c.StatsInterval <= 0 {
+		c.StatsInterval = time.Second
+	}
+	if c.StatsHistory <= 0 {
+		c.StatsHistory = 600
+	}
 	return c
 }
 
 // Server owns the job table and the bounded execution queue.
 type Server struct {
-	cfg   Config
-	queue *sched.Queue
+	cfg       Config
+	queue     *sched.Queue
+	access    *obs.AccessSink
+	collector *telemetry.Collector
+	started   time.Time
 
 	closing   chan struct{}
 	closeOnce sync.Once
@@ -111,14 +142,22 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	if cfg.Store == nil {
 		return nil, errors.New("serve: Config.Store is required")
 	}
-	return &Server{
+	s := &Server{
 		cfg:       cfg,
 		queue:     sched.NewQueue(ctx, cfg.JobWorkers, cfg.QueueDepth),
+		started:   time.Now(),
 		closing:   make(chan struct{}),
 		jobs:      map[string]*Job{},
 		byKey:     map[string]*Job{},
 		perClient: map[string]int{},
-	}, nil
+	}
+	if !cfg.DisableTelemetry {
+		s.access = cfg.AccessLog
+		s.collector = telemetry.NewCollector(cfg.StatsInterval, cfg.StatsHistory,
+			telemetry.RuntimeProbe, store.Probe, s.probe)
+		s.collector.Start()
+	}
+	return s, nil
 }
 
 // Drain stops accepting work and blocks until every queued and running job
@@ -128,22 +167,65 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 func (s *Server) Drain() {
 	s.closeOnce.Do(func() { close(s.closing) })
 	s.queue.Close()
+	if s.collector != nil {
+		s.collector.Close()
+	}
 }
 
-// Handler returns the daemon's HTTP handler.
+// Handler returns the daemon's HTTP handler. Every route goes through
+// instrument, which is the identity when telemetry is disabled; the route
+// label is the mux pattern, so series cardinality is fixed at build time.
 func (s *Server) Handler() http.Handler {
+	metrics := telemetry.MetricsHandler()
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /v1/selectors", s.handleSelectors)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("POST /v1/jobs", s.instrument("POST", "/v1/jobs", s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs", s.instrument("GET", "/v1/jobs", s.handleList))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("GET", "/v1/jobs/{id}", s.handleStatus))
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.instrument("GET", "/v1/jobs/{id}/result", s.handleResult))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.instrument("GET", "/v1/jobs/{id}/events", s.handleEvents))
+	mux.HandleFunc("GET /v1/selectors", s.instrument("GET", "/v1/selectors", s.handleSelectors))
+	mux.HandleFunc("GET /v1/stats", s.instrument("GET", "/v1/stats", s.handleStats))
+	mux.HandleFunc("GET /v1/stats/history", s.instrument("GET", "/v1/stats/history", s.handleStatsHistory))
+	mux.HandleFunc("GET /metrics", s.instrument("GET", "/metrics", metrics.ServeHTTP))
+	mux.HandleFunc("GET /healthz", s.instrument("GET", "/healthz", s.handleHealthz))
 	return mux
+}
+
+// handleHealthz is the liveness probe. Once SIGTERM drain begins it flips
+// to 503 with "draining": true, so load balancers stop routing new work to
+// an instance that is finishing its queue.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	body := struct {
+		Status   string  `json:"status"`
+		Draining bool    `json:"draining"`
+		UptimeS  float64 `json:"uptime_s"`
+	}{Status: "ok", UptimeS: time.Since(s.started).Seconds()}
+	select {
+	case <-s.closing:
+		body.Status = "draining"
+		body.Draining = true
+		writeJSON(w, http.StatusServiceUnavailable, body)
+	default:
+		writeJSON(w, http.StatusOK, body)
+	}
+}
+
+// statsHistoryBody is the GET /v1/stats/history response: the collector's
+// snapshot ring, oldest first.
+type statsHistoryBody struct {
+	IntervalMs int64                `json:"interval_ms"`
+	History    []telemetry.Snapshot `json:"history"`
+}
+
+func (s *Server) handleStatsHistory(w http.ResponseWriter, r *http.Request) {
+	body := statsHistoryBody{
+		IntervalMs: s.cfg.StatsInterval.Milliseconds(),
+		History:    []telemetry.Snapshot{},
+	}
+	if s.collector != nil {
+		body.History = s.collector.History()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // errorBody is every non-2xx response's JSON shape.
@@ -225,7 +307,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.seq++
-	job := newJob(fmt.Sprintf("j%06d", s.seq), key, client, req, s.cfg.EventBuffer)
+	job := newJob(fmt.Sprintf("j%06d", s.seq), key, client, traceFrom(r.Context()), req, s.cfg.EventBuffer)
 	s.jobs[job.id] = job
 	s.order = append(s.order, job.id)
 	s.byKey[key] = job
@@ -293,8 +375,13 @@ func (s *Server) compute(ctx context.Context, j *Job) (_ []byte, err error) {
 		}
 	}()
 	ctx = obs.WithSink(ctx, sink)
-	ctx, span := obs.Start(ctx, "serve.job",
-		obs.String("id", j.id), obs.String("run", j.req.Run), obs.String("key", j.key))
+	attrs := []obs.Attr{obs.String("id", j.id), obs.String("run", j.req.Run), obs.String("key", j.key)}
+	if j.trace != "" {
+		// The submitting request's trace id, so a line in the events feed is
+		// attributable back to the access log and the X-Trace-Id a client saw.
+		attrs = append(attrs, obs.String("trace", j.trace))
+	}
+	ctx, span := obs.Start(ctx, "serve.job", attrs...)
 	defer span.End()
 
 	_, scale, verr := j.req.validate() // re-resolve the Scale struct from the stored names

@@ -1,0 +1,24 @@
+package store
+
+import (
+	"testing"
+
+	"specsampling/internal/obs"
+)
+
+// TestProbeHitRatio pins the derived gauge: hits per thousand reads,
+// computed from the live counters at probe time.
+func TestProbeHitRatio(t *testing.T) {
+	obs.ResetMetrics()
+	defer obs.ResetMetrics()
+	Probe()
+	if got := obs.GetGauge("store.hit_ratio_permille").Value(); got != 0 {
+		t.Fatalf("ratio with no reads = %d, want 0", got)
+	}
+	hitCounter.Add(3)
+	missCounter.Add(1)
+	Probe()
+	if got := obs.GetGauge("store.hit_ratio_permille").Value(); got != 750 {
+		t.Fatalf("ratio after 3 hits / 1 miss = %d, want 750", got)
+	}
+}

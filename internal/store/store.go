@@ -106,6 +106,23 @@ var (
 	reapCounter     = obs.GetCounter("store.reap")
 )
 
+// hitRatioGauge is the derived cache-health gauge Probe publishes: hits
+// per thousand reads. A gauge (not a live computation) so scrapes and
+// stats history see the value without re-deriving it, and in permille
+// because obs gauges are integral.
+var hitRatioGauge = obs.GetGauge("store.hit_ratio_permille")
+
+// Probe publishes the hit-ratio gauge from the process-wide hit/miss
+// counters. The telemetry collector runs it once per sampling tick; it is
+// cheap (two atomic loads) and safe from any goroutine. With no reads yet
+// the gauge stays at its zero value.
+func Probe() {
+	hits, misses := hitCounter.Value(), missCounter.Value()
+	if total := hits + misses; total > 0 {
+		hitRatioGauge.Set(hits * 1000 / total)
+	}
+}
+
 // Key names one artifact. Kind and Bench locate it (kind subdirectory,
 // benchmark-prefixed filename, for human navigation of the cache dir);
 // Parts are the canonical configuration strings that, together with the

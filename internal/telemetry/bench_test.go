@@ -1,0 +1,36 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"specsampling/internal/obs"
+)
+
+// BenchmarkMetricsExposition is the scrape cost: snapshot the registry and
+// render the full Prometheus text exposition. Populated with a realistic
+// daemon registry shape — a few dozen counters/gauges plus labelled
+// per-route histograms — so the recorded number tracks what a 1 Hz (or a
+// misbehaving 100 Hz) scraper costs the serving process.
+func BenchmarkMetricsExposition(b *testing.B) {
+	for i := 0; i < 24; i++ {
+		obs.GetCounter(fmt.Sprintf("benchexpo.counter_%02d", i)).Add(int64(i) * 17)
+	}
+	for i := 0; i < 8; i++ {
+		obs.GetGauge(fmt.Sprintf("benchexpo.gauge_%02d", i)).Set(int64(i) * 3)
+	}
+	for r := 0; r < 8; r++ {
+		h := obs.GetHistogram(fmt.Sprintf("benchexpo.seconds{route=\"/route/%d\"}", r))
+		for i := 0; i < 1000; i++ {
+			h.Observe(float64(i%250) * 0.0004)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WritePrometheus(io.Discard, obs.Snapshot()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

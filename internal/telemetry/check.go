@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"strconv"
+	"strings"
+)
+
+// CheckExposition sanity-checks a Prometheus text exposition: every line
+// parses, every histogram family's buckets are monotone non-decreasing in
+// bound order, the +Inf bucket equals the _count, and counter/gauge values
+// are integers. It returns one message per violation; the serve load smoke
+// reuses it against live concurrent scrapes.
+func CheckExposition(text string) []string {
+	var errs []string
+	type histState struct {
+		lastCum  int64
+		infCum   int64
+		count    int64
+		hasCount bool
+	}
+	hists := map[string]*histState{} // per labelled series
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			errs = append(errs, "blank line inside exposition")
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				errs = append(errs, "malformed TYPE line: "+line)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			errs = append(errs, "no value on line: "+line)
+			continue
+		}
+		name, val := line[:sp], line[sp+1:]
+		fval, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			errs = append(errs, "unparseable value on line: "+line)
+			continue
+		}
+		switch {
+		case strings.Contains(name, "_bucket{"):
+			base := name[:strings.Index(name, "_bucket{")]
+			rest := name[strings.Index(name, "_bucket{")+len("_bucket{") : len(name)-1]
+			// Split off the trailing le label (always last — the writer
+			// appends it).
+			leIdx := strings.LastIndex(rest, `le="`)
+			if leIdx < 0 || !strings.HasSuffix(line[:sp], `"}`) {
+				errs = append(errs, "bucket line without le label: "+line)
+				continue
+			}
+			seriesKey := base + "{" + strings.TrimSuffix(rest[:leIdx], ",") + "}"
+			st := hists[seriesKey]
+			if st == nil {
+				st = &histState{}
+				hists[seriesKey] = st
+			}
+			cum := int64(fval)
+			le := strings.TrimSuffix(rest[leIdx+len(`le="`):], `"`)
+			if le == "+Inf" {
+				st.infCum = cum
+			} else {
+				if cum < st.lastCum {
+					errs = append(errs, "non-monotone buckets in "+seriesKey+": "+line)
+				}
+				st.lastCum = cum
+			}
+		case strings.Contains(name, "_count"):
+			base := strings.Replace(name, "_count", "", 1)
+			st := hists[base]
+			if st == nil && !strings.Contains(name, "{") {
+				st = hists[base+"{}"]
+			}
+			if st != nil {
+				st.count = int64(fval)
+				st.hasCount = true
+			}
+		}
+	}
+	for key, st := range hists {
+		if st.infCum < st.lastCum {
+			errs = append(errs, key+": +Inf bucket below a finite bucket")
+		}
+		if st.hasCount && st.infCum != st.count {
+			errs = append(errs, key+": +Inf bucket != count")
+		}
+	}
+	return errs
+}

@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"specsampling/internal/obs"
+)
+
+// Probe publishes one subsystem's gauges; the collector calls every probe
+// once per sampling tick, immediately before it captures the snapshot.
+// Probes must be safe for concurrent use with the subsystem they observe
+// (they read atomics or take short locks — never block).
+type Probe func()
+
+// Snapshot is one timestamped sample of the whole metric registry,
+// flattened for dashboards: counters and gauges by name, histograms as
+// name-suffixed count/sum and derived p50/p99. JSON object keys come out
+// sorted (encoding/json sorts map keys), so serialized history is
+// deterministic for fixed metric state.
+type Snapshot struct {
+	// TimeMs is the sample wall-clock time in Unix milliseconds.
+	TimeMs int64 `json:"t_ms"`
+	// Metrics maps flattened metric names to values.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Collector is the runtime self-monitoring loop: a goroutine that samples
+// every interval, runs the registered probes (queue depth, cache hit
+// ratio, runtime heap/goroutine gauges), and retains the last N snapshots
+// in a ring buffer for GET /v1/stats/history.
+type Collector struct {
+	interval time.Duration
+	probes   []Probe
+
+	mu   sync.Mutex
+	ring []Snapshot
+	next int
+	full bool
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewCollector builds a collector sampling every interval (default 1s)
+// keeping history snapshots (default 600 — ten minutes at the default
+// interval).
+func NewCollector(interval time.Duration, history int, probes ...Probe) *Collector {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if history <= 0 {
+		history = 600
+	}
+	return &Collector{
+		interval: interval,
+		probes:   probes,
+		ring:     make([]Snapshot, history),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the sampling goroutine (idempotent). The first sample is
+// taken immediately, so History is never empty once Start has returned.
+func (c *Collector) Start() {
+	c.startOnce.Do(func() {
+		c.sample()
+		go func() {
+			defer close(c.done)
+			t := time.NewTicker(c.interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-c.stop:
+					return
+				case <-t.C:
+					c.sample()
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the sampling goroutine and waits for it to exit. Safe to
+// call more than once, and before Start (the collector then never runs).
+func (c *Collector) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.startOnce.Do(func() { close(c.done) }) // never started: nothing to wait for
+	<-c.done
+}
+
+// sample runs the probes and appends one snapshot to the ring.
+func (c *Collector) sample() {
+	for _, p := range c.probes {
+		p()
+	}
+	snap := Snapshot{TimeMs: time.Now().UnixMilli(), Metrics: Flatten(obs.Snapshot())}
+	c.mu.Lock()
+	c.ring[c.next] = snap
+	c.next++
+	if c.next == len(c.ring) {
+		c.next = 0
+		c.full = true
+	}
+	c.mu.Unlock()
+}
+
+// History returns the retained snapshots, oldest first.
+func (c *Collector) History() []Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.full {
+		return append([]Snapshot(nil), c.ring[:c.next]...)
+	}
+	out := make([]Snapshot, 0, len(c.ring))
+	out = append(out, c.ring[c.next:]...)
+	return append(out, c.ring[:c.next]...)
+}
+
+// Flatten turns a registry snapshot into the dashboard-friendly flat map:
+// counters and gauges keep their name; a histogram h contributes h.count,
+// h.sum, h.p50 and h.p99.
+func Flatten(snap []obs.MetricValue) map[string]float64 {
+	out := make(map[string]float64, len(snap))
+	for _, mv := range snap {
+		switch mv.Kind {
+		case "histogram":
+			out[mv.Name+".count"] = float64(mv.Count)
+			out[mv.Name+".sum"] = mv.Sum
+			out[mv.Name+".p50"] = mv.Quantile(0.50)
+			out[mv.Name+".p99"] = mv.Quantile(0.99)
+		default:
+			out[mv.Name] = float64(mv.Value)
+		}
+	}
+	return out
+}
+
+// Runtime self-monitoring gauges, published by RuntimeProbe.
+var (
+	goroutinesGauge  = obs.GetGauge("runtime.goroutines")
+	heapAllocGauge   = obs.GetGauge("runtime.heap_alloc_bytes")
+	heapSysGauge     = obs.GetGauge("runtime.heap_sys_bytes")
+	heapObjectsGauge = obs.GetGauge("runtime.heap_objects")
+	gcCyclesGauge    = obs.GetGauge("runtime.gc_cycles")
+	gcPauseGauge     = obs.GetGauge("runtime.gc_pause_total_ms")
+	nextGCGauge      = obs.GetGauge("runtime.next_gc_bytes")
+)
+
+// RuntimeProbe publishes the Go runtime's health gauges: goroutine count
+// and the heap/GC figures from runtime.ReadMemStats. ReadMemStats
+// stop-the-worlds briefly; at the collector's 1 Hz default that is noise.
+func RuntimeProbe() {
+	goroutinesGauge.Set(int64(runtime.NumGoroutine()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	heapAllocGauge.Set(int64(ms.HeapAlloc))
+	heapSysGauge.Set(int64(ms.HeapSys))
+	heapObjectsGauge.Set(int64(ms.HeapObjects))
+	gcCyclesGauge.Set(int64(ms.NumGC))
+	gcPauseGauge.Set(int64(ms.PauseTotalNs / 1e6))
+	nextGCGauge.Set(int64(ms.NextGC))
+}

@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"specsampling/internal/obs"
+)
+
+// fakeSnap builds a registry-shaped snapshot without touching the global
+// registry, so the exposition tests are hermetic.
+func fakeSnap() []obs.MetricValue {
+	bounds := obs.BucketBounds()
+	buckets := make([]int64, len(bounds)+1)
+	// 3 observations: two in the bucket for 0.3 (le 0.5), one overflow.
+	for i, b := range bounds {
+		if b >= 0.3 {
+			buckets[i] = 2
+			break
+		}
+	}
+	buckets[len(buckets)-1] = 1
+	return []obs.MetricValue{
+		{Name: "serve.http.requests{route=\"/v1/jobs\",code=\"2xx\"}", Kind: "counter", Value: 7},
+		{Name: "serve.http.requests{route=\"/healthz\",code=\"2xx\"}", Kind: "counter", Value: 2},
+		{Name: "store.hit", Kind: "counter", Value: 41},
+		{Name: "sched.queue.depth", Kind: "gauge", Value: 3},
+		{Name: "serve.http.request_seconds{route=\"/v1/jobs\"}", Kind: "histogram",
+			Count: 3, Sum: 100.6, Min: 0.3, Max: 100, Buckets: buckets},
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WritePrometheus(&a, fakeSnap()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b, fakeSnap()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two expositions of the same snapshot differ")
+	}
+	out := a.String()
+
+	// One # TYPE line per family, families sorted, dots mapped to
+	// underscores.
+	var typeLines []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			typeLines = append(typeLines, line)
+		}
+	}
+	want := []string{
+		"# TYPE sched_queue_depth gauge",
+		"# TYPE serve_http_request_seconds histogram",
+		"# TYPE serve_http_requests counter",
+		"# TYPE store_hit counter",
+	}
+	if len(typeLines) != len(want) {
+		t.Fatalf("TYPE lines = %v, want %v", typeLines, want)
+	}
+	for i := range want {
+		if typeLines[i] != want[i] {
+			t.Errorf("TYPE line %d = %q, want %q", i, typeLines[i], want[i])
+		}
+	}
+
+	// Labelled series grouped under one family, sorted by label set.
+	hIdx := strings.Index(out, `serve_http_requests{route="/healthz",code="2xx"} 2`)
+	jIdx := strings.Index(out, `serve_http_requests{route="/v1/jobs",code="2xx"} 7`)
+	if hIdx < 0 || jIdx < 0 || hIdx > jIdx {
+		t.Errorf("labelled counter series missing or out of order (healthz@%d jobs@%d):\n%s", hIdx, jIdx, out)
+	}
+
+	// Histogram exposition: cumulative buckets, +Inf equals count, sum and
+	// count present with the series labels.
+	if !strings.Contains(out, `serve_http_request_seconds_bucket{route="/v1/jobs",le="0.5"} 2`) {
+		t.Errorf("missing cumulative le=0.5 bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `serve_http_request_seconds_bucket{route="/v1/jobs",le="+Inf"} 3`) {
+		t.Errorf("missing +Inf bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `serve_http_request_seconds_sum{route="/v1/jobs"} 100.6`) {
+		t.Errorf("missing histogram sum:\n%s", out)
+	}
+	if !strings.Contains(out, `serve_http_request_seconds_count{route="/v1/jobs"} 3`) {
+		t.Errorf("missing histogram count:\n%s", out)
+	}
+}
+
+// TestExpositionParsesAndIsCoherent runs the same consistency checks the
+// load smoke applies to live scrapes, against the hermetic snapshot.
+func TestExpositionParsesAndIsCoherent(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, fakeSnap()); err != nil {
+		t.Fatal(err)
+	}
+	if errs := CheckExposition(buf.String()); len(errs) > 0 {
+		t.Fatalf("exposition incoherent: %v", errs)
+	}
+}
+
+func TestSplitSeriesAndSanitize(t *testing.T) {
+	cases := []struct{ in, fam, labels string }{
+		{"store.hit", "store.hit", ""},
+		{`serve.http.requests{route="/v1/jobs"}`, "serve.http.requests", `route="/v1/jobs"`},
+		{"odd{unclosed", "odd{unclosed", ""},
+	}
+	for _, c := range cases {
+		fam, labels := splitSeries(c.in)
+		if fam != c.fam || labels != c.labels {
+			t.Errorf("splitSeries(%q) = (%q, %q), want (%q, %q)", c.in, fam, labels, c.fam, c.labels)
+		}
+	}
+	if got := sanitizeName("serve.http.request_seconds"); got != "serve_http_request_seconds" {
+		t.Errorf("sanitizeName = %q", got)
+	}
+	if got := sanitizeName("9weird-name"); got != "_9weird_name" {
+		t.Errorf("sanitizeName(9weird-name) = %q", got)
+	}
+}
+
+func TestCollectorRingAndProbes(t *testing.T) {
+	var probed atomic.Int64 // written by the collector goroutine, read here
+	g := obs.GetGauge("telemetrytest.probe_value")
+	c := NewCollector(time.Millisecond, 4, func() {
+		g.Set(probed.Add(1))
+	})
+	c.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(c.History()) == 4 && probed.Load() >= 6 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Close()
+	c.Close() // idempotent
+
+	hist := c.History()
+	if len(hist) != 4 {
+		t.Fatalf("history length = %d, want the full ring of 4", len(hist))
+	}
+	for i := 1; i < len(hist); i++ {
+		if hist[i].TimeMs < hist[i-1].TimeMs {
+			t.Fatalf("history out of order at %d: %d then %d", i, hist[i-1].TimeMs, hist[i].TimeMs)
+		}
+	}
+	// The ring keeps the newest samples: the probe gauge must be strictly
+	// increasing across retained snapshots and reflect the probe runs.
+	last := hist[len(hist)-1].Metrics["telemetrytest.probe_value"]
+	if last < 4 {
+		t.Errorf("last retained probe value = %g, want >= 4 (ring dropped oldest, kept newest)", last)
+	}
+	if n := probed.Load(); n < 5 {
+		t.Errorf("probe ran %d times, want >= 5", n)
+	}
+}
+
+func TestRuntimeProbe(t *testing.T) {
+	RuntimeProbe()
+	flat := Flatten(obs.Snapshot())
+	if flat["runtime.goroutines"] < 1 {
+		t.Errorf("runtime.goroutines = %g, want >= 1", flat["runtime.goroutines"])
+	}
+	if flat["runtime.heap_alloc_bytes"] <= 0 {
+		t.Errorf("runtime.heap_alloc_bytes = %g, want > 0", flat["runtime.heap_alloc_bytes"])
+	}
+}
+
+func TestFlattenHistogramQuantiles(t *testing.T) {
+	h := obs.GetHistogram("telemetrytest.flatten_hist")
+	for i := 0; i < 100; i++ {
+		h.Observe(0.002)
+	}
+	flat := Flatten(obs.Snapshot())
+	if flat["telemetrytest.flatten_hist.count"] != 100 {
+		t.Errorf("flattened count = %g, want 100", flat["telemetrytest.flatten_hist.count"])
+	}
+	if p50 := flat["telemetrytest.flatten_hist.p50"]; p50 != 0.002 {
+		t.Errorf("flattened p50 = %g, want exactly 0.002 (single-valued clamp)", p50)
+	}
+	if p99 := flat["telemetrytest.flatten_hist.p99"]; p99 != 0.002 {
+		t.Errorf("flattened p99 = %g, want exactly 0.002", p99)
+	}
+}
