@@ -16,10 +16,12 @@ check: fmtcheck vet lint build test racesmoke benchsmoke cachesmoke shootoutsmok
 vet:
 	$(GO) vet ./...
 
-## lint: the project-specific analyzers (see DESIGN.md §9) — determinism,
-## cancellation and cache-key invariants the generic tools cannot see.
+## lint: the project-specific analyzers (see DESIGN.md §9, §14) —
+## determinism, cancellation, cache-key and concurrency invariants the
+## generic tools cannot see. -time prints the per-analyzer wall-time
+## breakdown so a slow analyzer shows up in CI logs, not in folklore.
 lint:
-	$(GO) run ./cmd/speclint ./...
+	$(GO) run ./cmd/speclint -time ./...
 
 ## fmtcheck: fail if any file needs gofmt (and list the offenders).
 fmtcheck:

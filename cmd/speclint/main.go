@@ -4,48 +4,69 @@
 //
 // Usage:
 //
-//	speclint [-analyzers detmap,spanleak,...] [packages]
+//	speclint [-analyzers detmap,spanleak,...] [-json] [-time] [packages]
 //
 // Packages are directories ("./internal/kmeans") or recursive patterns
 // ("./..."); the default is "./..." from the working directory. Diagnostics
-// print as "file:line:col: analyzer: message". Findings can be suppressed
-// with a reasoned "//lint:ignore <analyzer> <reason>" comment on the
-// flagged line or the line above it.
+// print as "file:line:col: analyzer: message", or as a JSON array with
+// -json. Findings can be suppressed with a reasoned
+// "//lint:ignore <analyzer> <reason>" comment on the flagged line or the
+// line above it.
+//
+// Exit status follows the internal/cli convention: 0 clean, 1 findings (or
+// a load failure), 2 usage error.
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
+	"time"
 
 	"specsampling/internal/analysis"
+	"specsampling/internal/cli"
 )
 
+// errFindings marks "the analyzers found something": the diagnostics and
+// summary are already printed, main only needs the exit status 1.
+var errFindings = errors.New("findings reported")
+
 func main() {
-	os.Exit(run(os.Args[1:]))
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil && !cli.Reported(err) && !errors.Is(err, flag.ErrHelp) && !errors.Is(err, errFindings) {
+		fmt.Fprintln(os.Stderr, "speclint:", err)
+	}
+	os.Exit(cli.ExitCode(err))
 }
 
-func run(args []string) int {
+func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("speclint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	names := fs.String("analyzers", "",
 		"comma-separated analyzer subset (default: all)")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	jsonOut := fs.Bool("json", false, "print findings as a JSON array on stdout")
+	timings := fs.Bool("time", false, "print per-analyzer wall time to stderr")
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return cli.ParseError(err)
 	}
 	analyzers := analysis.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
-		return 0
+		return nil
 	}
 	if *names != "" {
 		analyzers = analysis.ByName(*names)
 		if analyzers == nil {
-			fmt.Fprintf(os.Stderr, "speclint: unknown analyzer in %q\n", *names)
-			return 2
+			return cli.Usagef("unknown analyzer in %q (available: %s)",
+				*names, strings.Join(analysis.Names(), ", "))
 		}
 	}
 	patterns := fs.Args()
@@ -55,25 +76,63 @@ func run(args []string) int {
 
 	loader, err := analysis.NewLoader("")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "speclint:", err)
-		return 2
+		return err
 	}
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "speclint:", err)
-		return 2
+		return err
 	}
-	diags := analysis.Run(loader.Fset(), pkgs, loader.ModulePath(), analyzers)
-	wd, _ := os.Getwd()
-	for _, d := range diags {
-		if rel, err := filepath.Rel(wd, d.Pos.Filename); err == nil && len(rel) < len(d.Pos.Filename) {
-			d.Pos.Filename = rel
+	diags, elapsed := analysis.RunTimed(loader.Fset(), pkgs, loader.ModulePath(), analyzers)
+	if *timings {
+		for _, t := range elapsed {
+			fmt.Fprintf(stderr, "speclint: %-12s %8s\n", t.Name, t.Elapsed.Round(time.Millisecond))
 		}
-		fmt.Println(d)
+	}
+	wd, _ := os.Getwd()
+	for i := range diags {
+		if rel, err := filepath.Rel(wd, diags[i].Pos.Filename); err == nil && len(rel) < len(diags[i].Pos.Filename) {
+			diags[i].Pos.Filename = rel
+		}
+	}
+	if *jsonOut {
+		if err := writeJSON(stdout, diags); err != nil {
+			return err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "speclint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
-		return 1
+		fmt.Fprintf(stderr, "speclint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return errFindings
 	}
-	return 0
+	return nil
+}
+
+// jsonFinding is the machine-readable diagnostic shape for -json.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON emits the findings as an indented JSON array ([] when clean, so
+// consumers always get valid JSON).
+func writeJSON(w io.Writer, diags []analysis.Diagnostic) error {
+	findings := make([]jsonFinding, len(diags))
+	for i, d := range diags {
+		findings[i] = jsonFinding{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
 }

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+
+	"specsampling/internal/analysis"
+	"specsampling/internal/cli"
+)
+
+// TestListStable pins the -list output to the analyzer registry: every
+// registered analyzer appears exactly once, in reporting order, with its
+// one-line doc.
+func TestListStable(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-list"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run(-list) = %v, want nil", err)
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	names := analysis.Names()
+	if len(lines) != len(names) {
+		t.Fatalf("-list printed %d lines, want %d:\n%s", len(lines), len(names), stdout.String())
+	}
+	for i, a := range analysis.All() {
+		if !strings.HasPrefix(lines[i], a.Name) {
+			t.Errorf("line %d = %q, want prefix %q", i, lines[i], a.Name)
+		}
+		if !strings.Contains(lines[i], a.Doc) {
+			t.Errorf("line %d = %q, want doc %q", i, lines[i], a.Doc)
+		}
+	}
+}
+
+// TestUnknownAnalyzer checks the usage-error path: a bad -analyzers name
+// must name the offender, list what is available, and map to exit 2.
+func TestUnknownAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-analyzers", "detmap,nosuch"}, &stdout, &stderr)
+	if !errors.Is(err, cli.ErrUsage) {
+		t.Fatalf("run(-analyzers nosuch) = %v, want ErrUsage", err)
+	}
+	if got := cli.ExitCode(err); got != 2 {
+		t.Errorf("ExitCode = %d, want 2", got)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "nosuch") {
+		t.Errorf("error %q does not name the unknown analyzer", msg)
+	}
+	for _, name := range analysis.Names() {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error %q does not list available analyzer %q", msg, name)
+		}
+	}
+}
+
+// TestBadFlag checks that flag-parse failures are reported usage errors
+// (flag prints its own message; main must not repeat it) mapping to exit 2.
+func TestBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-nope"}, &stdout, &stderr)
+	if !errors.Is(err, cli.ErrUsage) {
+		t.Fatalf("run(-nope) = %v, want ErrUsage", err)
+	}
+	if !cli.Reported(err) {
+		t.Error("flag-parse error should be marked reported")
+	}
+	if got := cli.ExitCode(err); got != 2 {
+		t.Errorf("ExitCode = %d, want 2", got)
+	}
+}
+
+// TestHelp checks that -h maps to exit 0 (asking for usage is not failure).
+func TestHelp(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-h"}, &stdout, &stderr)
+	if got := cli.ExitCode(err); got != 0 {
+		t.Errorf("ExitCode(-h) = %d, want 0", got)
+	}
+}
+
+// TestCleanTree runs the full analyzer set over this command's own package
+// (the test's working directory) and expects a clean exit. The module-wide
+// self-run lives in analysis.TestTreeClean; this exercises the command
+// wiring — loading, -json shape, exit status.
+func TestCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the module; skipped in -short")
+	}
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-json", "./..."}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run(./...) = %v, stderr:\n%s\nstdout:\n%s", err, stderr.String(), stdout.String())
+	}
+	var findings []jsonFinding
+	if jerr := json.Unmarshal(stdout.Bytes(), &findings); jerr != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", jerr, stdout.String())
+	}
+	if len(findings) != 0 {
+		t.Errorf("self-run reported %d findings, want 0:\n%s", len(findings), stdout.String())
+	}
+	if got := cli.ExitCode(err); got != 0 {
+		t.Errorf("ExitCode = %d, want 0", got)
+	}
+}
+
+// TestFindingsExitOne runs a single analyzer over the lockheld golden
+// fixture via the loader and checks the findings path: diagnostics on
+// stdout, summary on stderr, errFindings mapping to exit 1, and the -json
+// shape carrying file/line/analyzer/message.
+func TestFindingsExitOne(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the module; skipped in -short")
+	}
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-analyzers", "lockheld", "-json",
+		"../../internal/analysis/testdata/src/lockheld"}, &stdout, &stderr)
+	if !errors.Is(err, errFindings) {
+		t.Fatalf("run(fixture) = %v, want errFindings; stderr:\n%s", err, stderr.String())
+	}
+	if got := cli.ExitCode(err); got != 1 {
+		t.Errorf("ExitCode = %d, want 1", got)
+	}
+	var findings []jsonFinding
+	if jerr := json.Unmarshal(stdout.Bytes(), &findings); jerr != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", jerr, stdout.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("fixture run produced no findings")
+	}
+	for _, f := range findings {
+		if f.Analyzer != "lockheld" {
+			t.Errorf("finding from %q, want lockheld only", f.Analyzer)
+		}
+		if f.File == "" || f.Line <= 0 || f.Message == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+	}
+	if !strings.Contains(stderr.String(), "finding(s)") {
+		t.Errorf("summary missing from stderr: %q", stderr.String())
+	}
+}
+
+// TestHelpIsNotUsageError guards the ExitCode mapping run relies on.
+func TestHelpIsNotUsageError(t *testing.T) {
+	if cli.ExitCode(flag.ErrHelp) != 0 {
+		t.Error("flag.ErrHelp must map to exit 0")
+	}
+}

@@ -12,6 +12,17 @@
 //   - cachekey   — every Config field is covered by the store.Key
 //     derivations, so the persistent cache can never alias two
 //     configurations
+//   - lockheld   — no mutex is held across a may-block call, and lock
+//     classes are acquired in one consistent module-wide order
+//   - goroleak   — every go statement has a bounded exit (ctx-done or
+//     stop-channel select, channel drain, or WaitGroup ownership)
+//   - atomicmix  — no variable is accessed both through sync/atomic and
+//     with plain loads/stores
+//
+// The last three are interprocedural: they consume per-function summaries
+// computed by a fixed-point facts engine over a module-wide call graph
+// (callgraph.go, facts.go), built once per run and shared between
+// analyzers.
 //
 // The driver loads and type-checks packages itself (see Loader), runs every
 // analyzer, and reports diagnostics as "file:line:col: analyzer: message".
@@ -100,6 +111,26 @@ type Pass struct {
 
 	analyzer string
 	diags    *[]Diagnostic
+	shared   *sharedState
+}
+
+// sharedState carries computations that are identical for every analyzer
+// in one driver.Run — today, the interprocedural facts engine. Passes copy
+// per package, so the state lives behind a pointer.
+type sharedState struct {
+	facts *factsEngine
+}
+
+// facts returns the interprocedural facts engine for the loaded package
+// set, building it on first use and memoising it across analyzers.
+func (p *Pass) facts() *factsEngine {
+	if p.shared == nil {
+		p.shared = &sharedState{}
+	}
+	if p.shared.facts == nil {
+		p.shared.facts = buildFacts(p.All)
+	}
+	return p.shared.facts
 }
 
 // Reportf records a finding at pos.

@@ -42,6 +42,9 @@ func TestSpanleakGolden(t *testing.T)   { runGolden(t, "spanleak") }
 func TestClosecheckGolden(t *testing.T) { runGolden(t, "closecheck") }
 func TestCachekeyGolden(t *testing.T)   { runGolden(t, "cachekey") }
 func TestMetricnameGolden(t *testing.T) { runGolden(t, "metricname") }
+func TestLockheldGolden(t *testing.T)   { runGolden(t, "lockheld") }
+func TestGoroleakGolden(t *testing.T)   { runGolden(t, "goroleak") }
+func TestAtomicmixGolden(t *testing.T)  { runGolden(t, "atomicmix") }
 
 // TestTreeClean is the self-run: the full analyzer set over the real module
 // must report nothing. This is what `make lint` enforces in CI terms, pinned

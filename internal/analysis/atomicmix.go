@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Atomicmix forbids mixing sync/atomic access with plain loads and stores
+// on the same variable. A field updated with atomic.AddInt64 but read with
+// a plain selector races: the compiler and CPU are free to tear, cache or
+// reorder the plain access, and the race detector only catches the
+// schedules a test happens to see. The obs package's sticky scope guard
+// and counter fast paths are the motivating surfaces — they moved to the
+// typed atomics (atomic.Bool, atomic.Int64), which make mixing a type
+// error; this analyzer polices the function-based form module-wide.
+//
+// Mechanics: the first pass collects every variable whose address is taken
+// by a sync/atomic function call — struct fields identified as
+// (type, field) so every instance shares the discipline, package-level and
+// local variables by their object. The second pass reports every plain
+// access to a collected variable outside those sanctioned call sites.
+// Methods on the typed atomics are not sync/atomic function calls, so
+// types that already use them never register. Keyed struct literals do not
+// produce field selections and are deliberately exempt: zero-value
+// initialisation before the value is shared is the one safe plain write.
+var Atomicmix = &Analyzer{
+	Name:   "atomicmix",
+	Doc:    "no variable accessed both via sync/atomic and plainly",
+	Global: true,
+	Run:    runAtomicmix,
+}
+
+// atomicRef identifies one atomically-accessed variable: a struct field by
+// owner type and name, or any other variable by its object.
+type atomicRef struct {
+	obj   types.Object
+	named *types.Named
+	field string
+}
+
+func runAtomicmix(pass *Pass) {
+	firstUse := map[atomicRef]token.Position{}
+	firstFn := map[atomicRef]string{}
+	sanctioned := map[ast.Node]bool{}
+
+	// Pass 1: collect &x arguments of sync/atomic function calls.
+	for _, pkg := range pass.All {
+		info := pkg.Info
+		pkg.Inspect(func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods on atomic.Int64 etc. are the safe form
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				ref, ok := refOf(info, u.X)
+				if !ok {
+					continue
+				}
+				sanctioned[ast.Unparen(u.X)] = true
+				if _, seen := firstUse[ref]; !seen {
+					firstUse[ref] = pass.Fset.Position(u.X.Pos())
+					firstFn[ref] = "atomic." + fn.Name()
+				}
+			}
+			return true
+		})
+	}
+	if len(firstUse) == 0 {
+		return
+	}
+
+	// Pass 2: report plain accesses to the collected variables.
+	for _, pkg := range pass.All {
+		info := pkg.Info
+		pkg.Inspect(func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sanctioned[n] {
+					return false
+				}
+				sel, ok := info.Selections[n]
+				if !ok || sel.Kind() != types.FieldVal {
+					return true
+				}
+				ref := atomicRef{named: namedStruct(sel.Recv()), field: n.Sel.Name}
+				if ref.named == nil {
+					return true
+				}
+				if at, ok := firstUse[ref]; ok {
+					pass.Reportf(n.Pos(),
+						"field %s of %s.%s is accessed with %s (%s:%d) but read or written plainly here; mixing atomic and plain access is a data race",
+						ref.field, pathTail(ref.named.Obj().Pkg().Path()), ref.named.Obj().Name(),
+						firstFn[ref], at.Filename, at.Line)
+				}
+			case *ast.Ident:
+				if sanctioned[n] {
+					return true
+				}
+				obj, ok := info.Uses[n].(*types.Var)
+				if !ok || obj.IsField() {
+					return true
+				}
+				ref := atomicRef{obj: obj}
+				if at, ok := firstUse[ref]; ok {
+					pass.Reportf(n.Pos(),
+						"%s is accessed with %s (%s:%d) but read or written plainly here; mixing atomic and plain access is a data race",
+						obj.Name(), firstFn[ref], at.Filename, at.Line)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// refOf resolves the operand of an atomic &x argument to its identity:
+// a struct field selection or a variable identifier.
+func refOf(info *types.Info, e ast.Expr) (atomicRef, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if named := namedStruct(sel.Recv()); named != nil && named.Obj().Pkg() != nil {
+				return atomicRef{named: named, field: e.Sel.Name}, true
+			}
+		}
+	case *ast.Ident:
+		if obj, ok := info.ObjectOf(e).(*types.Var); ok && !obj.IsField() {
+			return atomicRef{obj: obj}, true
+		}
+	}
+	return atomicRef{}, false
+}

@@ -38,33 +38,16 @@ var Cachekey = &Analyzer{
 	Run:    runCachekey,
 }
 
-// declSite pairs a function declaration with the package that owns it (the
-// package's Info is needed to resolve names inside the body).
-type declSite struct {
-	pkg  *Package
-	decl *ast.FuncDecl
-}
-
 func runCachekey(pass *Pass) {
-	// Index every function declaration in the loaded set.
-	decls := map[*types.Func]declSite{}
+	// Index every function declaration in the loaded set (callgraph.go —
+	// the machinery this analyzer grew is now shared with the facts
+	// engine).
+	decls := declIndex(pass.All)
+	loaded := loadedPkgSet(pass.All)
 	var roots []*types.Func
-	for _, pkg := range pass.All {
-		for _, file := range pkg.Files {
-			for _, d := range file.Decls {
-				fd, ok := d.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
-				if !ok {
-					continue
-				}
-				decls[fn] = declSite{pkg: pkg, decl: fd}
-				if returnsStoreKey(fn) {
-					roots = append(roots, fn)
-				}
-			}
+	for fn := range decls {
+		if returnsStoreKey(fn) {
+			roots = append(roots, fn)
 		}
 	}
 	if len(roots) == 0 {
@@ -72,7 +55,11 @@ func runCachekey(pass *Pass) {
 	}
 	sort.Slice(roots, func(i, j int) bool { return roots[i].FullName() < roots[j].FullName() })
 
-	// BFS over static calls from the key-derivation roots.
+	// BFS over the call graph from the key-derivation roots. Interface
+	// dispatch (the selector.Selector call in core.Config.ClusterKey) fans
+	// out to every satisfying declared method — each registered backend's
+	// KeyParts body is part of the key derivation no matter which backend a
+	// given run picks.
 	reachable := map[*types.Func]bool{}
 	work := append([]*types.Func(nil), roots...)
 	for len(work) > 0 {
@@ -91,23 +78,9 @@ func runCachekey(pass *Pass) {
 			if !ok {
 				return true
 			}
-			callee := calleeFunc(site.pkg.Info, call)
-			if callee == nil {
-				return true
-			}
-			if _, has := decls[callee]; has {
-				if !reachable[callee] {
-					work = append(work, callee)
-				}
-			} else if iface := ifaceRecv(callee); iface != nil {
-				// Interface dispatch: the static callee is the abstract
-				// method, which has no body. Any registered implementation
-				// may run, so every satisfying declared method joins the
-				// walk.
-				for _, impl := range implementers(iface, callee.Name(), decls) {
-					if !reachable[impl] {
-						work = append(work, impl)
-					}
+			for _, target := range calleeTargets(site.pkg.Info, call, decls, loaded) {
+				if !reachable[target] {
+					work = append(work, target)
 				}
 			}
 			return true
@@ -227,43 +200,6 @@ func returnsStoreKey(fn *types.Func) bool {
 		}
 	}
 	return false
-}
-
-// ifaceRecv returns the interface type fn is declared on if fn is an
-// abstract interface method (the object a call through an interface value
-// resolves to), nil for concrete methods and plain functions.
-func ifaceRecv(fn *types.Func) *types.Interface {
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Recv() == nil {
-		return nil
-	}
-	iface, _ := sig.Recv().Type().Underlying().(*types.Interface)
-	return iface
-}
-
-// implementers returns every declared concrete method named name whose
-// receiver type (or a pointer to it) implements iface, sorted for a
-// deterministic walk order.
-func implementers(iface *types.Interface, name string, decls map[*types.Func]declSite) []*types.Func {
-	var out []*types.Func
-	for fn := range decls {
-		if fn.Name() != name {
-			continue
-		}
-		sig, ok := fn.Type().(*types.Signature)
-		if !ok || sig.Recv() == nil {
-			continue
-		}
-		recv := sig.Recv().Type()
-		if _, abstract := recv.Underlying().(*types.Interface); abstract {
-			continue
-		}
-		if types.Implements(recv, iface) || types.Implements(types.NewPointer(recv), iface) {
-			out = append(out, fn)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].FullName() < out[j].FullName() })
-	return out
 }
 
 // isModuleConfig reports whether named is a configuration struct defined in

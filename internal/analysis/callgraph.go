@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// This file holds the module-wide call-graph machinery shared by the
+// interprocedural analyzers (cachekey, lockheld, goroleak). The resolution
+// rules grew inside cachekey first and were extracted here once the facts
+// engine (facts.go) needed the same view of the program:
+//
+//   - every function declaration in the loaded set is indexed by its
+//     *types.Func, normalised through Origin() so calls to instantiations
+//     of a generic function resolve to the one declared body;
+//   - a call has a static callee when its Fun names a declared function or
+//     concrete method;
+//   - a call through an interface value resolves to the abstract interface
+//     method, which has no body; the graph conservatively fans out to every
+//     declared concrete method with that name whose receiver satisfies the
+//     interface (sorted for a deterministic walk order).
+
+// declSite pairs a function declaration with the package that owns it (the
+// package's Info is needed to resolve names inside the body).
+type declSite struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// declIndex indexes every function declaration with a body in the loaded
+// package set, keyed by the (origin) *types.Func.
+func declIndex(pkgs []*Package) map[*types.Func]declSite {
+	decls := map[*types.Func]declSite{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				decls[originFunc(fn)] = declSite{pkg: pkg, decl: fd}
+			}
+		}
+	}
+	return decls
+}
+
+// originFunc normalises an instantiated generic function or method to its
+// declared origin, which is what declIndex keys on.
+func originFunc(fn *types.Func) *types.Func {
+	if fn == nil {
+		return nil
+	}
+	if o := fn.Origin(); o != nil {
+		return o
+	}
+	return fn
+}
+
+// calleeTargets resolves a call to the declared functions that may run: the
+// static callee when it has a body in the loaded set, or — for a call
+// through an interface declared in a loaded package — every satisfying
+// concrete method. Dispatch through interfaces declared elsewhere
+// (io.Closer, io.Writer, …) is deliberately not expanded: a one-method
+// stdlib interface is satisfied by half the module, so fanning out would
+// invent call edges (and lock-order cycles) that no call path realises;
+// those calls are classified by the curated table instead
+// (externBlockKind). Builtins, conversions, function values and bodiless
+// callees resolve to nil.
+func calleeTargets(info *types.Info, call *ast.CallExpr, decls map[*types.Func]declSite, loaded map[*types.Package]bool) []*types.Func {
+	callee := originFunc(calleeFunc(info, call))
+	if callee == nil {
+		return nil
+	}
+	if _, ok := decls[callee]; ok {
+		return []*types.Func{callee}
+	}
+	if iface := ifaceRecv(callee); iface != nil && callee.Pkg() != nil && loaded[callee.Pkg()] {
+		return implementers(iface, callee.Name(), decls)
+	}
+	return nil
+}
+
+// loadedPkgSet collects the *types.Package of every loaded (full-syntax)
+// package, the scope within which interface dispatch is expanded.
+func loadedPkgSet(pkgs []*Package) map[*types.Package]bool {
+	set := make(map[*types.Package]bool, len(pkgs))
+	for _, pkg := range pkgs {
+		set[pkg.Types] = true
+	}
+	return set
+}
+
+// ifaceRecv returns the interface type fn is declared on if fn is an
+// abstract interface method (the object a call through an interface value
+// resolves to), nil for concrete methods and plain functions.
+func ifaceRecv(fn *types.Func) *types.Interface {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	iface, _ := sig.Recv().Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// implementers returns every declared concrete method named name whose
+// receiver type (or a pointer to it) implements iface, sorted for a
+// deterministic walk order.
+func implementers(iface *types.Interface, name string, decls map[*types.Func]declSite) []*types.Func {
+	var out []*types.Func
+	for fn := range decls {
+		if fn.Name() != name {
+			continue
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			continue
+		}
+		recv := sig.Recv().Type()
+		if _, abstract := recv.Underlying().(*types.Interface); abstract {
+			continue
+		}
+		if types.Implements(recv, iface) || types.Implements(types.NewPointer(recv), iface) {
+			out = append(out, fn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FullName() < out[j].FullName() })
+	return out
+}
+
+// shortFuncName renders fn compactly for diagnostics: "Type.method" for
+// methods (the receiver's named type without package or pointer noise),
+// "pkg.Func" for package functions.
+func shortFuncName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, isPtr := t.(*types.Pointer); isPtr {
+			t = ptr.Elem()
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return pathTail(fn.Pkg().Path()) + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// sortFuncs orders functions deterministically by full name (receiver
+// included), breaking exotic ties by package path.
+func sortFuncs(fns []*types.Func) {
+	sort.Slice(fns, func(i, j int) bool {
+		a, b := fns[i], fns[j]
+		if a.FullName() != b.FullName() {
+			return a.FullName() < b.FullName()
+		}
+		return fmt.Sprint(a.Pkg()) < fmt.Sprint(b.Pkg())
+	})
+}

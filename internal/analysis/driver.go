@@ -5,6 +5,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // All returns every analyzer, in reporting order.
@@ -17,7 +18,20 @@ func All() []*Analyzer {
 		Closecheck,
 		Cachekey,
 		Metricname,
+		Lockheld,
+		Goroleak,
+		Atomicmix,
 	}
+}
+
+// Names returns every analyzer name, in reporting order.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, a := range all {
+		names[i] = a.Name
+	}
+	return names
 }
 
 // ByName resolves a comma-separated analyzer list ("detmap,spanleak");
@@ -44,18 +58,36 @@ func ByName(names string) []*Analyzer {
 // surviving diagnostics, deduplicated, suppression-filtered and sorted by
 // position. modulePath scopes module-wide analyzers (cachekey).
 func Run(fset *token.FileSet, pkgs []*Package, modulePath string, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunTimed(fset, pkgs, modulePath, analyzers)
+	return diags
+}
+
+// Timing records one analyzer's wall-clock cost inside RunTimed. The first
+// analyzer to need the interprocedural facts engine pays for building it.
+type Timing struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// RunTimed is Run plus a per-analyzer wall-time breakdown, in execution
+// order (`speclint -time` / `make lint` print it).
+func RunTimed(fset *token.FileSet, pkgs []*Package, modulePath string, analyzers []*Analyzer) ([]Diagnostic, []Timing) {
 	var diags []Diagnostic
+	shared := &sharedState{}
+	timings := make([]Timing, 0, len(analyzers))
 	for _, a := range analyzers {
-		pass := Pass{Fset: fset, All: pkgs, ModulePath: modulePath, analyzer: a.Name, diags: &diags}
+		start := time.Now()
+		pass := Pass{Fset: fset, All: pkgs, ModulePath: modulePath, analyzer: a.Name, diags: &diags, shared: shared}
 		if a.Global {
 			a.Run(&pass)
-			continue
+		} else {
+			for _, pkg := range pkgs {
+				p := pass
+				p.Pkg = pkg
+				a.Run(&p)
+			}
 		}
-		for _, pkg := range pkgs {
-			p := pass
-			p.Pkg = pkg
-			a.Run(&p)
-		}
+		timings = append(timings, Timing{Name: a.Name, Elapsed: time.Since(start)})
 	}
 	diags = filterSuppressed(fset, pkgs, diags)
 	sort.Slice(diags, func(i, j int) bool {
@@ -71,7 +103,7 @@ func Run(fset *token.FileSet, pkgs []*Package, modulePath string, analyzers []*A
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return dedup(diags)
+	return dedup(diags), timings
 }
 
 // ignoreRe matches "//lint:ignore <analyzer> <reason>". The reason is

@@ -1,0 +1,596 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file is the interprocedural facts engine: a fixed-point propagator
+// that computes one summary per declared function over the call graph
+// (callgraph.go). The summary lattice is small and strictly monotone —
+// bit-set of may-block kinds, a may-acquire set of lock classes, and three
+// booleans — so propagation is a simple round-robin over the functions in
+// deterministic order until nothing changes.
+//
+// Base facts come from three places:
+//
+//   - syntax: channel sends/receives, selects without a default clause, and
+//     ranging over a channel may block; `go` statements spawn; `for` loops
+//     with no three-clause bound may loop forever; receiving from a
+//     struct{}-element channel, draining a channel with range, calling
+//     (*sync.WaitGroup).Done or polling ctx.Err() are bounded-exit signals;
+//   - a curated table of standard-library calls whose bodies the loader
+//     does not type-check (deps load with IgnoreFuncBodies): time.Sleep,
+//     WaitGroup.Wait, bufio/os/net/json writes, http round trips, …;
+//   - abstract interface methods declared outside the module (io.Writer,
+//     http.ResponseWriter, net.Conn, …) — a call through them can reach a
+//     pipe, socket or client connection, so Write/Read/Flush/Close-shaped
+//     names count as potential I/O blocks.
+//
+// Soundness caveats (see DESIGN.md §14): calls through plain function
+// values are invisible (no points-to analysis); stdlib callees outside the
+// curated table are assumed non-blocking; function literals that do not run
+// on the spawning goroutine (`go func(){…}()`) contribute nothing to the
+// enclosing summary except spawns=true — their bodies are analysed at the
+// spawn site by goroleak and as independent roots by lockheld.
+
+// blockKind is a bit-set classifying why a call may block. Lock
+// acquisition is deliberately not a kind: blocking on a mutex is only a
+// defect in combination with the held-set and ordering graph, which
+// lockheld tracks through the acquires set instead.
+type blockKind uint8
+
+const (
+	blockChan  blockKind = 1 << iota // channel send/receive, select without default
+	blockWait                        // WaitGroup.Wait, Cond.Wait, process waits
+	blockIO                          // file, pipe, socket and HTTP reads/writes
+	blockSleep                       // time.Sleep and friends
+)
+
+var blockKindNames = []struct {
+	kind blockKind
+	name string
+}{
+	{blockChan, "chan"},
+	{blockWait, "wait"},
+	{blockIO, "io"},
+	{blockSleep, "sleep"},
+}
+
+// String renders the mask as "io+chan" style for diagnostics.
+func (k blockKind) String() string {
+	var parts []string
+	for _, e := range blockKindNames {
+		if k&e.kind != 0 {
+			parts = append(parts, e.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "+")
+}
+
+// witness records why one blockKind bit of a summary is set: the base
+// operation, where it sits, and the callee chain it was inherited through
+// (empty for a direct operation, capped for readability).
+type witness struct {
+	what string // "channel send", "(*bufio.Writer).Flush", …
+	pos  token.Pos
+	path []string // call chain from the summarised function down to what
+}
+
+// describe renders the witness for a diagnostic message.
+func (w witness) describe() string {
+	if len(w.path) == 0 {
+		return w.what
+	}
+	return w.what + " via " + strings.Join(w.path, " → ")
+}
+
+// funcFacts is one function's interprocedural summary.
+type funcFacts struct {
+	blocks    blockKind
+	witnesses map[blockKind]witness
+	spawns    bool                 // contains (or calls something containing) a go statement
+	acquires  map[string]token.Pos // lock classes this call may take, however briefly
+	hasLoop   bool                 // contains a loop with no structural bound
+	hasExit   bool                 // contains a bounded-exit signal (see package comment)
+}
+
+func newFuncFacts() *funcFacts {
+	return &funcFacts{
+		witnesses: map[blockKind]witness{},
+		acquires:  map[string]token.Pos{},
+	}
+}
+
+// setBlock sets one blocking bit with its witness; the first witness for a
+// bit wins, keeping diagnostics stable across propagation rounds.
+func (f *funcFacts) setBlock(kind blockKind, w witness) bool {
+	if f.blocks&kind != 0 {
+		return false
+	}
+	f.blocks |= kind
+	f.witnesses[kind] = w
+	return true
+}
+
+// callSite is one resolved call inside a function body: where it is, what
+// to call it in messages, and which declared functions may run.
+type callSite struct {
+	pos     token.Pos
+	name    string
+	targets []*types.Func
+}
+
+// factsEngine owns the call graph and the computed summaries for one
+// loaded package set. It is built once per driver.Run (shared across
+// analyzers through Pass.facts) and is read-only after construction.
+type factsEngine struct {
+	decls  map[*types.Func]declSite
+	loaded map[*types.Package]bool // full-syntax packages: interface-dispatch scope
+	funcs  []*types.Func           // deterministic propagation order
+	facts  map[*types.Func]*funcFacts
+	calls  map[*types.Func][]callSite
+	lits   map[*ast.FuncLit]*funcFacts // memoised go-spawned literal summaries
+}
+
+// buildFacts scans every declared function and runs the propagation to a
+// fixed point.
+func buildFacts(pkgs []*Package) *factsEngine {
+	e := &factsEngine{
+		decls:  declIndex(pkgs),
+		loaded: loadedPkgSet(pkgs),
+		facts:  map[*types.Func]*funcFacts{},
+		calls:  map[*types.Func][]callSite{},
+		lits:   map[*ast.FuncLit]*funcFacts{},
+	}
+	for fn := range e.decls {
+		e.funcs = append(e.funcs, fn)
+	}
+	sortFuncs(e.funcs)
+	for _, fn := range e.funcs {
+		site := e.decls[fn]
+		facts, calls := e.scanBody(site.pkg, site.decl.Body)
+		e.facts[fn] = facts
+		e.calls[fn] = calls
+	}
+	e.propagate()
+	return e
+}
+
+// factsFor returns fn's summary (normalising generic instantiations), or
+// nil when fn has no body in the loaded set.
+func (e *factsEngine) factsFor(fn *types.Func) *funcFacts {
+	return e.facts[originFunc(fn)]
+}
+
+// litFacts summarises one go-spawned function literal: its direct facts
+// plus the summaries of everything it calls. No fixed point is needed — a
+// literal cannot be called back into by name.
+func (e *factsEngine) litFacts(pkg *Package, lit *ast.FuncLit) *funcFacts {
+	if f, ok := e.lits[lit]; ok {
+		return f
+	}
+	facts, calls := e.scanBody(pkg, lit.Body)
+	for _, cs := range calls {
+		for _, target := range cs.targets {
+			if tf := e.facts[target]; tf != nil {
+				mergeFacts(facts, tf, cs)
+			}
+		}
+	}
+	e.lits[lit] = facts
+	return facts
+}
+
+// propagate folds callee summaries into caller summaries until the lattice
+// stops moving. Everything merged is monotone (bits and set unions), so
+// termination is bounded by lattice height × functions.
+func (e *factsEngine) propagate() {
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range e.funcs {
+			facts := e.facts[fn]
+			for _, cs := range e.calls[fn] {
+				for _, target := range cs.targets {
+					tf := e.facts[target]
+					if tf == nil || tf == facts {
+						continue
+					}
+					if mergeFacts(facts, tf, cs) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// mergeFacts folds callee facts into caller facts at call site cs,
+// reporting whether anything new was learned.
+func mergeFacts(caller, callee *funcFacts, cs callSite) bool {
+	changed := false
+	for _, e := range blockKindNames {
+		if callee.blocks&e.kind == 0 || caller.blocks&e.kind != 0 {
+			continue
+		}
+		w := callee.witnesses[e.kind]
+		path := append([]string{cs.name}, w.path...)
+		if len(path) > 3 {
+			path = append(path[:3:3], "…")
+		}
+		caller.setBlock(e.kind, witness{what: w.what, pos: cs.pos, path: path})
+		changed = true
+	}
+	if callee.spawns && !caller.spawns {
+		caller.spawns = true
+		changed = true
+	}
+	if callee.hasLoop && !caller.hasLoop {
+		caller.hasLoop = true
+		changed = true
+	}
+	if callee.hasExit && !caller.hasExit {
+		caller.hasExit = true
+		changed = true
+	}
+	for class := range callee.acquires {
+		if _, ok := caller.acquires[class]; !ok {
+			caller.acquires[class] = cs.pos
+			changed = true
+		}
+	}
+	return changed
+}
+
+// scanBody computes the direct facts of one function (or literal) body and
+// collects its resolved call sites. Function literals that run on the same
+// goroutine (immediate calls, defers, assigned closures) are folded into
+// the enclosing summary; go-spawned work only sets spawns.
+func (e *factsEngine) scanBody(pkg *Package, body *ast.BlockStmt) (*funcFacts, []callSite) {
+	s := &bodyScanner{pkg: pkg, decls: e.decls, loaded: e.loaded, facts: newFuncFacts()}
+	s.scan(body)
+	return s.facts, s.calls
+}
+
+type bodyScanner struct {
+	pkg      *Package
+	decls    map[*types.Func]declSite
+	loaded   map[*types.Package]bool
+	facts    *funcFacts
+	calls    []callSite
+	inSelect map[ast.Node]bool // channel ops that belong to a select's comm clauses
+}
+
+func (s *bodyScanner) scan(n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, s.visit)
+}
+
+func (s *bodyScanner) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.GoStmt:
+		// The spawn itself never blocks the current goroutine; the spawned
+		// body is analysed at the spawn site (goroleak) and as its own root
+		// (lockheld). Arguments do evaluate here.
+		s.facts.spawns = true
+		for _, arg := range n.Call.Args {
+			s.scan(arg)
+		}
+		return false
+	case *ast.SelectStmt:
+		if !hasDefaultComm(n.Body) {
+			s.facts.setBlock(blockChan, witness{what: "select with no default clause", pos: n.Pos()})
+		}
+		s.markSelectComms(n)
+		return true
+	case *ast.SendStmt:
+		if !s.inSelect[n] {
+			s.facts.setBlock(blockChan, witness{what: "channel send", pos: n.Pos()})
+		}
+		return true
+	case *ast.UnaryExpr:
+		if n.Op != token.ARROW {
+			return true
+		}
+		if !s.inSelect[n] {
+			s.facts.setBlock(blockChan, witness{what: "channel receive", pos: n.Pos()})
+		}
+		if isSignalChan(s.pkg.Info.TypeOf(n.X)) {
+			s.facts.hasExit = true
+		}
+		return true
+	case *ast.RangeStmt:
+		if t := s.pkg.Info.TypeOf(n.X); t != nil && isChanType(t) {
+			// Draining a channel blocks between elements, and is also a
+			// bounded exit: the loop ends when the producer closes it.
+			s.facts.setBlock(blockChan, witness{what: "range over channel", pos: n.Pos()})
+			s.facts.hasExit = true
+		}
+		return true
+	case *ast.ForStmt:
+		// A loop with no three-clause bound (`for {}`, `for cond {}`) can
+		// run forever; counted loops are treated as structurally bounded.
+		if n.Cond == nil || (n.Init == nil && n.Post == nil) {
+			s.facts.hasLoop = true
+		}
+		return true
+	case *ast.CallExpr:
+		s.call(n)
+		return true
+	}
+	return true
+}
+
+// call classifies one call expression into the summary.
+func (s *bodyScanner) call(call *ast.CallExpr) {
+	info := s.pkg.Info
+	callee := originFunc(calleeFunc(info, call))
+	if callee == nil {
+		return // builtin, conversion or function value: invisible (caveat)
+	}
+	if op, class := lockOp(info, call, callee); op != lockNone {
+		if op == lockAcquire {
+			if _, ok := s.facts.acquires[class]; !ok {
+				s.facts.acquires[class] = call.Pos()
+			}
+		}
+		return
+	}
+	if isWaitGroupDone(callee) || isContextErr(callee) {
+		s.facts.hasExit = true
+		return
+	}
+	if targets := calleeTargets(info, call, s.decls, s.loaded); targets != nil {
+		s.calls = append(s.calls, callSite{pos: call.Pos(), name: shortFuncName(callee), targets: targets})
+		return
+	}
+	if kind, what := externBlockKind(callee); kind != 0 {
+		s.facts.setBlock(kind, witness{what: what, pos: call.Pos()})
+	}
+}
+
+// markSelectComms records the channel operations that form a select's comm
+// clauses so visit does not double-count them: the select statement itself
+// already carries the blocking fact (or none, with a default clause).
+func (s *bodyScanner) markSelectComms(sel *ast.SelectStmt) {
+	if s.inSelect == nil {
+		s.inSelect = map[ast.Node]bool{}
+	}
+	for _, clause := range sel.Body.List {
+		comm, ok := clause.(*ast.CommClause)
+		if !ok || comm.Comm == nil {
+			continue
+		}
+		switch c := comm.Comm.(type) {
+		case *ast.SendStmt:
+			s.inSelect[c] = true
+		case *ast.ExprStmt:
+			if u, ok := ast.Unparen(c.X).(*ast.UnaryExpr); ok {
+				s.inSelect[u] = true
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range c.Rhs {
+				if u, ok := ast.Unparen(rhs).(*ast.UnaryExpr); ok {
+					s.inSelect[u] = true
+				}
+			}
+		}
+	}
+}
+
+// hasDefaultComm reports whether a select body has a default clause.
+func hasDefaultComm(body *ast.BlockStmt) bool {
+	for _, s := range body.List {
+		if c, ok := s.(*ast.CommClause); ok && c.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// isChanType reports whether t's underlying type is a channel.
+func isChanType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// isSignalChan reports whether t is a channel of struct{} — the shape of
+// ctx.Done(), stop channels and close-to-broadcast done channels, whose
+// receive is read as a bounded-exit signal.
+func isSignalChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// lockOpKind classifies sync lock-method calls.
+type lockOpKind int
+
+const (
+	lockNone lockOpKind = iota
+	lockAcquire
+	lockRelease
+)
+
+// lockOp recognises (*sync.Mutex)/(*sync.RWMutex) Lock/RLock/Unlock/RUnlock
+// calls and derives the lock class (lockClass below).
+func lockOp(info *types.Info, call *ast.CallExpr, callee *types.Func) (lockOpKind, string) {
+	if callee.Pkg() == nil || callee.Pkg().Path() != "sync" {
+		return lockNone, ""
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return lockNone, ""
+	}
+	recv := sig.Recv().Type()
+	if ptr, isPtr := recv.(*types.Pointer); isPtr {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || (named.Obj().Name() != "Mutex" && named.Obj().Name() != "RWMutex") {
+		return lockNone, ""
+	}
+	var op lockOpKind
+	switch callee.Name() {
+	case "Lock", "RLock":
+		op = lockAcquire
+	case "Unlock", "RUnlock":
+		op = lockRelease
+	default:
+		return lockNone, ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockNone, ""
+	}
+	return op, lockClass(info, sel.X)
+}
+
+// lockClass names the mutex a lock call operates on, identity-by-shape:
+// a struct field is "pkg.Type.field" (every instance of the type shares
+// the class — the ordering discipline is per-type, not per-object), a
+// package-level variable is "pkg.var", anything else falls back to the
+// expression text. Aliased mutexes (`m := &s.mu`) fall into the fallback
+// and are effectively untracked — a documented caveat.
+func lockClass(info *types.Info, mux ast.Expr) string {
+	switch m := ast.Unparen(mux).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[m]; ok && sel.Kind() == types.FieldVal {
+			if named := namedStruct(sel.Recv()); named != nil {
+				pkg := ""
+				if named.Obj().Pkg() != nil {
+					pkg = pathTail(named.Obj().Pkg().Path()) + "."
+				}
+				return pkg + named.Obj().Name() + "." + m.Sel.Name
+			}
+		}
+		return types.ExprString(m)
+	case *ast.Ident:
+		obj := info.ObjectOf(m)
+		if obj != nil && obj.Pkg() != nil {
+			if obj.Parent() == obj.Pkg().Scope() {
+				return pathTail(obj.Pkg().Path()) + "." + obj.Name()
+			}
+			return "local " + obj.Name()
+		}
+		return m.Name
+	default:
+		return types.ExprString(mux)
+	}
+}
+
+// isWaitGroupDone matches (*sync.WaitGroup).Done — ownership of a
+// WaitGroup counts as a bounded exit for the goroutine holding it.
+func isWaitGroupDone(fn *types.Func) bool {
+	if fn.Name() != "Done" || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// isContextErr matches (context.Context).Err — polling ctx.Err() in a loop
+// condition is the pipeline's other sanctioned exit idiom.
+func isContextErr(fn *types.Func) bool {
+	return fn.Name() == "Err" && fn.Pkg() != nil && fn.Pkg().Path() == "context" && ifaceRecv(fn) != nil
+}
+
+// externBlockKind is the curated table of standard-library calls that may
+// block. The loader type-checks dependencies with IgnoreFuncBodies, so
+// these facts cannot be derived — they are asserted. Anything outside the
+// table is assumed non-blocking (a documented caveat, not a guarantee).
+func externBlockKind(fn *types.Func) (blockKind, string) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return 0, ""
+	}
+	path, name := pkg.Path(), fn.Name()
+	sig, _ := fn.Type().(*types.Signature)
+	isMethod := sig != nil && sig.Recv() != nil
+	full := func() string {
+		if isMethod {
+			return "(" + path + ")." + name
+		}
+		return path + "." + name
+	}
+
+	// Abstract interface methods declared outside the module: a call
+	// through io.Writer, http.ResponseWriter, net.Conn, … can reach a pipe,
+	// socket or client connection.
+	if isMethod && ifaceRecv(fn) != nil {
+		switch name {
+		case "Write", "WriteString", "WriteHeader", "WriteTo", "ReadFrom", "Read", "Flush", "Close", "Accept":
+			return blockIO, "(" + pathTail(path) + " interface)." + name
+		}
+		return 0, ""
+	}
+
+	switch path {
+	case "time":
+		if !isMethod && name == "Sleep" {
+			return blockSleep, "time.Sleep"
+		}
+	case "sync":
+		if isMethod && name == "Wait" { // WaitGroup.Wait, Cond.Wait
+			return blockWait, full()
+		}
+	case "os/exec":
+		if isMethod && (name == "Wait" || name == "Run" || name == "Output" || name == "CombinedOutput") {
+			return blockWait, full()
+		}
+	case "fmt":
+		if !isMethod && strings.HasPrefix(name, "Fprint") {
+			return blockIO, "fmt." + name
+		}
+	case "io":
+		if !isMethod {
+			switch name {
+			case "WriteString", "Copy", "CopyN", "CopyBuffer", "ReadAll", "ReadFull":
+				return blockIO, "io." + name
+			}
+		}
+	case "bufio":
+		if isMethod && (strings.HasPrefix(name, "Write") || strings.HasPrefix(name, "Read") || name == "Flush") {
+			return blockIO, full()
+		}
+	case "encoding/json":
+		if isMethod && (name == "Encode" || name == "Decode" || name == "Token" || name == "More") {
+			return blockIO, full()
+		}
+	case "os":
+		if isMethod {
+			switch name {
+			case "Write", "WriteString", "WriteAt", "Read", "ReadAt", "Sync":
+				return blockIO, full()
+			}
+		}
+	case "net":
+		if isMethod {
+			switch name {
+			case "Read", "Write", "Accept", "Close":
+				return blockIO, full()
+			}
+		}
+	case "net/http":
+		if isMethod {
+			switch name {
+			case "Do", "Get", "Post", "PostForm", "Head", "Serve", "ListenAndServe", "Shutdown":
+				return blockIO, full()
+			}
+		}
+	}
+	return 0, ""
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Goroleak demands a bounded exit for every goroutine: a `go` statement
+// whose body can loop forever must, somewhere in its transitive call tree,
+// listen for a shutdown signal. The accepted signals are the module's three
+// sanctioned idioms (facts.go computes them as the hasExit summary bit):
+//
+//   - receiving from a struct{}-element channel — ctx.Done(), stop/closing
+//     channels — or polling ctx.Err() in the loop condition;
+//   - draining a channel with range (the producer's close ends the loop);
+//   - WaitGroup ownership (the goroutine calls wg.Done, so someone joins
+//     it).
+//
+// A goroutine with an unbounded loop and none of these outlives every
+// shutdown path: the daemon's SIGTERM drain waits forever or leaks the
+// worker. Loop-free goroutines terminate structurally and pass; counted
+// three-clause for loops are treated as bounded. Spawns through plain
+// function values (`go fn()` where fn is a variable) are invisible to the
+// call graph and are not checked — a documented caveat (DESIGN.md §14).
+var Goroleak = &Analyzer{
+	Name:   "goroleak",
+	Doc:    "every go statement must have a bounded exit",
+	Global: true,
+	Run:    runGoroleak,
+}
+
+func runGoroleak(pass *Pass) {
+	eng := pass.facts()
+	for _, pkg := range pass.All {
+		info := pkg.Info
+		pkg.Inspect(func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var (
+				loops, exits bool
+				what         string
+				known        bool
+			)
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				f := eng.litFacts(pkg, lit)
+				loops, exits, known = f.hasLoop, f.hasExit, true
+				what = "function literal"
+			} else if targets := calleeTargets(info, g.Call, eng.decls, eng.loaded); targets != nil {
+				// Static callee or interface dispatch: any target that can
+				// loop unboundedly needs an exit somewhere in the set.
+				for _, target := range targets {
+					if f := eng.facts[target]; f != nil {
+						loops = loops || f.hasLoop
+						exits = exits || f.hasExit
+						known = true
+					}
+				}
+				what = shortFuncName(originFunc(calleeFunc(info, g.Call)))
+			}
+			if known && loops && !exits {
+				pass.Reportf(g.Pos(),
+					"goroutine (%s) runs an unbounded loop with no exit signal — no ctx-done/stop-channel receive, channel drain, or WaitGroup Done; it cannot be shut down",
+					what)
+			}
+			return true
+		})
+	}
+}

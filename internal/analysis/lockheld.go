@@ -1,0 +1,582 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Lockheld enforces the daemon's two mutex disciplines, interprocedurally:
+//
+//  1. No mutex is held across a call that may block (facts.go's summary:
+//     channel operations, Wait, sleeps, file/socket/HTTP I/O). The PR-8
+//     handleList wedge — a handler holding Server.mu via defer while
+//     writing the response — is the motivating instance: one slow client
+//     stalls every other request that needs the lock.
+//  2. Lock classes are acquired in one consistent module-wide order.
+//     Every "B taken while A held" observation becomes an edge A→B in an
+//     ordering graph; a cycle means two call paths can each hold what the
+//     other wants.
+//
+// The held-set walk is statement-level and path-sensitive in the style of
+// spanleak: branches are walked with copies of the held set and the
+// fall-through state is the intersection (must-hold). `defer mu.Unlock()`
+// keeps the lock held to every later statement — that is precisely the
+// shape of the PR-8 bug. Lock identity is by class (type + field, or
+// package variable; see lockClass), so two instances of the same struct
+// share a class: same-class nesting is therefore not reported (instance
+// identity is out of reach without points-to analysis), and calls through
+// plain function values are invisible. See DESIGN.md §14 for the full
+// soundness story.
+var Lockheld = &Analyzer{
+	Name:   "lockheld",
+	Doc:    "no mutex held across a may-block call; consistent lock order",
+	Global: true,
+	Run:    runLockheld,
+}
+
+// heldLock is one acquired lock on the current path.
+type heldLock struct {
+	class string
+	pos   token.Pos
+}
+
+// lockEdge is one observed "to acquired while from held" ordering fact.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos // the acquisition site of to
+}
+
+func runLockheld(pass *Pass) {
+	eng := pass.facts()
+	w := &lockWalker{
+		pass:    pass,
+		eng:     eng,
+		visited: map[*ast.FuncLit]bool{},
+		edges:   map[[2]string]token.Pos{},
+	}
+	for _, pkg := range pass.All {
+		w.pkg = pkg
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+					w.walkRoot(fd.Body, nil)
+				}
+			}
+		}
+		// Function literals not reached from any declaration body
+		// (package-level var initialisers) run as their own roots.
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok && !w.visited[lit] {
+					w.walkRoot(lit.Body, nil)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	w.reportInversions()
+}
+
+// lockWalker carries the module-wide state (visited literals, ordering
+// edges) across per-function walks.
+type lockWalker struct {
+	pass     *Pass
+	pkg      *Package
+	eng      *factsEngine
+	visited  map[*ast.FuncLit]bool
+	edges    map[[2]string]token.Pos
+	reported map[string]bool   // per root: class → a block report already fired
+	inSelect map[ast.Node]bool // per root: channel ops owned by a select statement
+}
+
+// walkRoot analyses one function body from a fresh reporting scope.
+func (w *lockWalker) walkRoot(body *ast.BlockStmt, held []heldLock) {
+	w.reported = map[string]bool{}
+	w.inSelect = map[ast.Node]bool{}
+	w.stmts(body.List, held)
+}
+
+// stmts walks a statement list, threading the held set through it, and
+// reports whether every path through the list terminates before its end.
+func (w *lockWalker) stmts(list []ast.Stmt, held []heldLock) ([]heldLock, bool) {
+	for _, s := range list {
+		var term bool
+		held, term = w.stmt(s, held)
+		if term {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held []heldLock) ([]heldLock, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		return w.topCall(s.X, held), false
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		w.expr(s.X, held)
+	case *ast.SendStmt:
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+		if !w.inSelect[s] {
+			w.reportBlock(s.Pos(), held, "a channel send", blockChan, "")
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+		return held, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the list; treat as end-of-path (the
+		// jump target is walked with the state it had on the normal path).
+		return held, true
+	case *ast.DeferStmt:
+		return w.deferStmt(s, held), false
+	case *ast.GoStmt:
+		for _, arg := range s.Call.Args {
+			w.expr(arg, held)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok && !w.visited[lit] {
+			// The spawned body starts with no locks held, whatever the
+			// spawner holds.
+			w.visited[lit] = true
+			w.stmts(lit.Body.List, nil)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		w.expr(s.Cond, held)
+		var exits [][]heldLock
+		cur := s
+		for {
+			if out, term := w.stmts(cur.Body.List, copyHeld(held)); !term {
+				exits = append(exits, out)
+			}
+			switch e := cur.Else.(type) {
+			case *ast.IfStmt:
+				if e.Init != nil {
+					held, _ = w.stmt(e.Init, held)
+				}
+				w.expr(e.Cond, held)
+				cur = e
+				continue
+			case *ast.BlockStmt:
+				if out, term := w.stmts(e.List, copyHeld(held)); !term {
+					exits = append(exits, out)
+				}
+			case nil:
+				exits = append(exits, held) // condition-false fall-through
+			}
+			break
+		}
+		if len(exits) == 0 {
+			return held, true
+		}
+		return intersectHeld(exits), false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, held)
+		}
+		return w.clauses(s.Body, hasDefaultClause(s.Body), held)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		return w.clauses(s.Body, hasDefaultClause(s.Body), held)
+	case *ast.SelectStmt:
+		w.markComms(s)
+		if !hasDefaultComm(s.Body) {
+			w.reportBlock(s.Pos(), held, "a select with no default clause", blockChan, "")
+		}
+		for _, cl := range s.Body.List {
+			if comm, ok := cl.(*ast.CommClause); ok && comm.Comm != nil {
+				held, _ = w.stmt(comm.Comm, held)
+			}
+		}
+		return w.clauses(s.Body, true, held)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held, _ = w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, held)
+		}
+		// The body may run zero times, so the loop does not change the
+		// outer state; blocking while held inside is still checked.
+		w.stmts(s.Body.List, copyHeld(held))
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		if t := w.pkg.Info.TypeOf(s.X); t != nil && isChanType(t) {
+			w.reportBlock(s.Pos(), held, "a range over a channel", blockChan, "")
+		}
+		w.stmts(s.Body.List, copyHeld(held))
+	case *ast.BlockStmt:
+		return w.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	}
+	return held, false
+}
+
+// clauses walks switch/select case bodies with copies of the held set and
+// joins the continuing paths by intersection (must-hold).
+func (w *lockWalker) clauses(body *ast.BlockStmt, hasDefault bool, held []heldLock) ([]heldLock, bool) {
+	var exits [][]heldLock
+	for _, b := range clauseBodies(body) {
+		if out, term := w.stmts(b, copyHeld(held)); !term {
+			exits = append(exits, out)
+		}
+	}
+	if !hasDefault {
+		exits = append(exits, held) // no case taken
+	}
+	if len(exits) == 0 {
+		return held, true
+	}
+	return intersectHeld(exits), false
+}
+
+// topCall handles a statement-level expression: lock and unlock calls
+// mutate the held set here and only here (nested lock calls are treated as
+// momentary — ordering edges without a held-set change).
+func (w *lockWalker) topCall(e ast.Expr, held []heldLock) []heldLock {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		w.expr(e, held)
+		return held
+	}
+	if callee := originFunc(calleeFunc(w.pkg.Info, call)); callee != nil {
+		switch op, class := lockOp(w.pkg.Info, call, callee); op {
+		case lockAcquire:
+			return w.acquire(call.Pos(), class, held)
+		case lockRelease:
+			return releaseHeld(held, class)
+		}
+	}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok && !w.visited[lit] {
+		// Immediately-invoked literal: runs here, with these locks.
+		w.visited[lit] = true
+		for _, arg := range call.Args {
+			w.expr(arg, held)
+		}
+		w.stmts(lit.Body.List, copyHeld(held))
+		return held
+	}
+	w.expr(call, held)
+	return held
+}
+
+// deferStmt handles defer: a deferred Unlock keeps the lock held for the
+// rest of the walk (that is the PR-8 shape the analyzer exists to catch);
+// a deferred literal or call runs with whatever is held at registration —
+// an approximation of the held set at return that is exact whenever the
+// matching deferred Unlock was registered first (the idiomatic order).
+func (w *lockWalker) deferStmt(d *ast.DeferStmt, held []heldLock) []heldLock {
+	if callee := originFunc(calleeFunc(w.pkg.Info, d.Call)); callee != nil {
+		if op, _ := lockOp(w.pkg.Info, d.Call, callee); op != lockNone {
+			return held // defer mu.Unlock(): held to the end of the walk
+		}
+	}
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok && !w.visited[lit] {
+		w.visited[lit] = true
+		for _, arg := range d.Call.Args {
+			w.expr(arg, held)
+		}
+		w.stmts(lit.Body.List, copyHeld(held))
+		return held
+	}
+	w.expr(d.Call, held)
+	return held
+}
+
+// acquire records ordering edges against everything held and pushes the
+// class. Same-class nesting is skipped: the class abstraction cannot tell
+// two instances of one type apart.
+func (w *lockWalker) acquire(pos token.Pos, class string, held []heldLock) []heldLock {
+	for _, h := range held {
+		if h.class == class {
+			return held
+		}
+		w.addEdge(h.class, class, pos)
+	}
+	return append(copyHeld(held), heldLock{class: class, pos: pos})
+}
+
+func (w *lockWalker) addEdge(from, to string, pos token.Pos) {
+	key := [2]string{from, to}
+	if _, ok := w.edges[key]; !ok {
+		w.edges[key] = pos
+	}
+}
+
+// expr scans an expression for effects under the current held set: calls
+// whose summaries may block or acquire, raw channel operations, and
+// function literals (walked inline when invoked or deferred at statement
+// level — here they are escaping values, walked once with nothing held).
+func (w *lockWalker) expr(e ast.Expr, held []heldLock) {
+	if e == nil {
+		return
+	}
+	info := w.pkg.Info
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if !w.visited[n] {
+				w.visited[n] = true
+				w.stmts(n.Body.List, nil)
+			}
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !w.inSelect[n] {
+				w.reportBlock(n.Pos(), held, "a channel receive", blockChan, "")
+			}
+			return true
+		case *ast.CallExpr:
+			if lit, ok := n.Fun.(*ast.FuncLit); ok && !w.visited[lit] {
+				// Invoked in expression position: runs right here.
+				w.visited[lit] = true
+				w.stmts(lit.Body.List, copyHeld(held))
+				return true // still scan the arguments
+			}
+			callee := originFunc(calleeFunc(info, n))
+			if callee == nil {
+				return true
+			}
+			if op, class := lockOp(info, n, callee); op != lockNone {
+				if op == lockAcquire {
+					for _, h := range held {
+						if h.class != class {
+							w.addEdge(h.class, class, n.Pos())
+						}
+					}
+				}
+				return true
+			}
+			if targets := calleeTargets(info, n, w.eng.decls, w.eng.loaded); targets != nil {
+				w.moduleCall(n, callee, targets, held)
+				return true
+			}
+			if kind, what := externBlockKind(callee); kind != 0 {
+				w.reportBlock(n.Pos(), held, "a call to "+what, kind, "")
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// moduleCall folds a resolved call's summaries into reports: a may-block
+// callee fires the held-across-block report with its witness chain; a
+// may-acquire callee contributes ordering edges.
+func (w *lockWalker) moduleCall(call *ast.CallExpr, callee *types.Func, targets []*types.Func, held []heldLock) {
+	name := shortFuncName(callee)
+	for _, target := range targets {
+		f := w.eng.facts[target]
+		if f == nil {
+			continue
+		}
+		if f.blocks != 0 && len(held) > 0 {
+			kind, wit := firstWitness(f)
+			chain := append([]string{name}, wit.path...)
+			w.reportBlock(call.Pos(), held, "a call to "+name, kind,
+				wit.what+" via "+joinArrows(chain))
+		}
+		if len(held) > 0 && len(f.acquires) > 0 {
+			classes := make([]string, 0, len(f.acquires))
+			for class := range f.acquires {
+				classes = append(classes, class)
+			}
+			sort.Strings(classes)
+			for _, class := range classes {
+				for _, h := range held {
+					if h.class != class {
+						w.addEdge(h.class, class, call.Pos())
+					}
+				}
+			}
+		}
+	}
+}
+
+// firstWitness picks the lowest set blocking bit's witness, giving stable
+// diagnostics regardless of how the summary was assembled.
+func firstWitness(f *funcFacts) (blockKind, witness) {
+	for _, e := range blockKindNames {
+		if f.blocks&e.kind != 0 {
+			return e.kind, f.witnesses[e.kind]
+		}
+	}
+	return 0, witness{}
+}
+
+// joinArrows renders a call chain for a witness message.
+func joinArrows(chain []string) string {
+	out := ""
+	for i, c := range chain {
+		if i > 0 {
+			out += " → "
+		}
+		out += c
+	}
+	return out
+}
+
+func copyHeld(held []heldLock) []heldLock {
+	return append([]heldLock(nil), held...)
+}
+
+// releaseHeld removes the most recent acquisition of class.
+func releaseHeld(held []heldLock, class string) []heldLock {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i].class == class {
+			return append(copyHeld(held[:i]), held[i+1:]...)
+		}
+	}
+	return held
+}
+
+// intersectHeld joins branch exit states must-hold style: a lock counts as
+// held after the branch only if every continuing path still holds it.
+func intersectHeld(states [][]heldLock) []heldLock {
+	out := states[0]
+	for _, s := range states[1:] {
+		var kept []heldLock
+		for _, h := range out {
+			for _, o := range s {
+				if o.class == h.class {
+					kept = append(kept, h)
+					break
+				}
+			}
+		}
+		out = kept
+	}
+	return out
+}
+
+// markComms registers a select's comm-clause channel operations so they
+// are not double-reported: the select statement itself carries the
+// blocking fact (or none, when a default clause makes it non-blocking).
+func (w *lockWalker) markComms(sel *ast.SelectStmt) {
+	for _, clause := range sel.Body.List {
+		comm, ok := clause.(*ast.CommClause)
+		if !ok || comm.Comm == nil {
+			continue
+		}
+		switch c := comm.Comm.(type) {
+		case *ast.SendStmt:
+			w.inSelect[c] = true
+		case *ast.ExprStmt:
+			if u, ok := ast.Unparen(c.X).(*ast.UnaryExpr); ok {
+				w.inSelect[u] = true
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range c.Rhs {
+				if u, ok := ast.Unparen(rhs).(*ast.UnaryExpr); ok {
+					w.inSelect[u] = true
+				}
+			}
+		}
+	}
+}
+
+// reportBlock fires the held-across-block diagnostic, at most once per
+// lock class per function root (the first blocking site names the bug; a
+// second report for the same lock in the same function is noise).
+func (w *lockWalker) reportBlock(pos token.Pos, held []heldLock, desc string, kind blockKind, via string) {
+	if len(held) == 0 {
+		return
+	}
+	h := held[len(held)-1]
+	if w.reported[h.class] {
+		return
+	}
+	w.reported[h.class] = true
+	detail := kind.String()
+	if via != "" {
+		detail += " — " + via
+	}
+	w.pass.Reportf(pos, "%s is held across %s (may block: %s); a blocked holder stalls every other user of the lock",
+		h.class, desc, detail)
+}
+
+// reportInversions finds cycles in the ordering graph and reports every
+// edge that participates in one, citing a witness for the reverse path.
+func (w *lockWalker) reportInversions() {
+	if len(w.edges) == 0 {
+		return
+	}
+	succ := map[string][]string{}
+	for key := range w.edges {
+		succ[key[0]] = append(succ[key[0]], key[1])
+	}
+	for _, s := range succ {
+		sort.Strings(s)
+	}
+	reaches := func(from, to string) bool {
+		seen := map[string]bool{}
+		stack := []string{from}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if n == to {
+				return true
+			}
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			stack = append(stack, succ[n]...)
+		}
+		return false
+	}
+	keys := make([][2]string, 0, len(w.edges))
+	for key := range w.edges {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, key := range keys {
+		from, to := key[0], key[1]
+		if !reaches(to, from) {
+			continue
+		}
+		cite := "elsewhere"
+		if pos, ok := w.edges[[2]string{to, from}]; ok {
+			p := w.pass.Fset.Position(pos)
+			cite = fmt.Sprintf("%s:%d", p.Filename, p.Line)
+		}
+		w.pass.Reportf(w.edges[key],
+			"%s is acquired while %s is held, but the reverse order exists (%s); inconsistent lock order can deadlock",
+			to, from, cite)
+	}
+}

@@ -1,0 +1,53 @@
+// Package atomicmix is the atomicmix fixture: gauge.n is updated through
+// sync/atomic but read plainly, hits is a package-level counter reset
+// plainly, and the peak/safeGauge variants show the two clean disciplines
+// (all-atomic functions, and the typed atomics that make mixing a type
+// error).
+package atomicmix
+
+import "sync/atomic"
+
+// gauge mixes atomic updates with a plain read on n.
+type gauge struct {
+	n    int64
+	peak int64
+}
+
+func (g *gauge) bump() {
+	atomic.AddInt64(&g.n, 1)
+}
+
+func (g *gauge) read() int64 {
+	return g.n // want "atomicmix: field n of atomicmix.gauge is accessed with atomic.AddInt64"
+}
+
+// peak is only ever touched through sync/atomic — silent.
+func (g *gauge) bumpPeak(v int64) {
+	atomic.StoreInt64(&g.peak, v)
+}
+
+func (g *gauge) readPeak() int64 {
+	return atomic.LoadInt64(&g.peak)
+}
+
+// hits is updated atomically but reset with a plain store.
+var hits int64
+
+// Hit is the hot path.
+func Hit() {
+	atomic.AddInt64(&hits, 1)
+}
+
+// Reset races with Hit.
+func Reset() {
+	hits = 0 // want "atomicmix: hits is accessed with atomic.AddInt64"
+}
+
+// safeGauge uses the typed atomics: a plain access does not typecheck, so
+// the analyzer has nothing to find.
+type safeGauge struct {
+	n atomic.Int64
+}
+
+func (s *safeGauge) bump()       { s.n.Add(1) }
+func (s *safeGauge) read() int64 { return s.n.Load() }

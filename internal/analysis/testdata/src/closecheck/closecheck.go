@@ -67,3 +67,29 @@ func GoodNeverFails(data []byte) []byte {
 	h.Write(buf.Bytes())
 	return h.Sum(nil)
 }
+
+// BadGoroutine drops a Flush error inside a go-spawned literal — closure
+// bodies are checked exactly like named function bodies.
+func BadGoroutine(w *bufio.Writer) {
+	go func() {
+		w.Flush() // want "closecheck: error result of Flush is silently discarded"
+	}()
+}
+
+// BadDeferredClosure drops a Close error inside a deferred closure. Unlike
+// `defer f.Close()` (the sanctioned last-resort idiom), a deferred closure
+// has room to check the error, so the discard fires.
+func BadDeferredClosure(f *os.File) {
+	defer func() {
+		f.Close() // want "closecheck: error result of Close is silently discarded"
+	}()
+}
+
+// GoodDeferredClosure checks the error inside the deferred closure.
+func GoodDeferredClosure(f *os.File, errp *error) {
+	defer func() {
+		if err := f.Close(); err != nil && *errp == nil {
+			*errp = err
+		}
+	}()
+}

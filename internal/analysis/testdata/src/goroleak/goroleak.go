@@ -1,0 +1,137 @@
+// Package goroleak is the goroleak fixture: every go statement must have a
+// bounded exit. LeakyPoll, StartSpin and StartPump leak (unbounded loops
+// with no signal, the second one hiding the loop a call down, the third
+// behind a method spawn); the rest exercise each sanctioned exit idiom and
+// the structural-termination passes.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+func doWork() {}
+
+func compute() int { return 42 }
+
+// LeakyPoll spawns a goroutine that can never be told to stop.
+func LeakyPoll() {
+	go func() { // want "goroleak: goroutine .function literal. runs an unbounded loop with no exit signal"
+		for {
+			doWork()
+		}
+	}()
+}
+
+// spin hides the unbounded loop one call down; the summary propagates it
+// back to the spawn site.
+func spin() {
+	for {
+		doWork()
+	}
+}
+
+// StartSpin leaks interprocedurally.
+func StartSpin() {
+	go func() { // want "goroleak: goroutine .function literal. runs an unbounded loop with no exit signal"
+		spin()
+	}()
+}
+
+// CtxPoll exits when the context is cancelled.
+func CtxPoll(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				doWork()
+			}
+		}
+	}()
+}
+
+// StopPoll exits when the stop channel closes (close-to-broadcast).
+func StopPoll(stop chan struct{}) {
+	go func() {
+		for {
+			doWork()
+			<-stop
+		}
+	}()
+}
+
+// DrainWorker drains its queue; the producer's close ends the loop.
+func DrainWorker(jobs chan int) {
+	go func() {
+		for range jobs {
+			doWork()
+		}
+	}()
+}
+
+// ShardWorker mirrors sched.ForEachSharded: bounded by ctx.Err polling and
+// joined through the WaitGroup.
+func ShardWorker(ctx context.Context, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for ctx.Err() == nil {
+			doWork()
+		}
+	}()
+}
+
+// OneShot terminates structurally: loop-free bodies always exit.
+func OneShot(results chan<- int) {
+	go func() {
+		results <- compute()
+	}()
+}
+
+// Counted three-clause loops are treated as structurally bounded.
+func Counted() {
+	go func() {
+		for i := 0; i < 8; i++ {
+			doWork()
+		}
+	}()
+}
+
+// pump spawns through a declared method: the loop lives in the callee's
+// body, not the go statement.
+type pump struct{ queue chan int }
+
+func (p *pump) loop() {
+	for {
+		doWork()
+	}
+}
+
+// StartPump leaks through the method spawn.
+func StartPump(p *pump) {
+	go p.loop() // want "goroleak: goroutine .pump.loop. runs an unbounded loop with no exit signal"
+}
+
+// drain is the fixed pump: the queue's close ends it.
+func (p *pump) drain() {
+	for range p.queue {
+		doWork()
+	}
+}
+
+// StartFixedPump stays silent.
+func StartFixedPump(p *pump) {
+	go p.drain()
+}
+
+// Forever is intentionally immortal, and says so.
+func Forever() {
+	//lint:ignore goroleak debug pump lives for the process lifetime by design
+	go func() {
+		for {
+			doWork()
+		}
+	}()
+}

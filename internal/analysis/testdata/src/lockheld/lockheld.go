@@ -1,0 +1,168 @@
+// Package lockheld is the lockheld fixture. HandleList reintroduces the
+// PR-8 wedge — a handler holding server.mu via defer across the response
+// write — and the fixed variant shows the snapshot-then-write shape that
+// stays silent. The registry/table and registry/cache pairs seed a lock
+// ordering inversion, the second one interprocedurally through a helper's
+// acquires summary.
+package lockheld
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+)
+
+// server mirrors serve.Server: one mutex guarding the job table.
+type server struct {
+	mu   sync.Mutex
+	jobs map[string]int
+}
+
+// writeJSON encodes straight to the client — blocking I/O once the
+// connection's buffers fill.
+func (s *server) writeJSON(w http.ResponseWriter, v interface{}) {
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// HandleList is the PR-8 handleList wedge: the deferred unlock keeps
+// server.mu held across the response write, so one slow client stalls
+// every other request that needs the lock.
+func (s *server) HandleList(w http.ResponseWriter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writeJSON(w, s.jobs) // want "lockheld: lockheld.server.mu is held across a call to server.writeJSON"
+}
+
+// HandleListFixed snapshots under the lock and writes after releasing it.
+func (s *server) HandleListFixed(w http.ResponseWriter) {
+	s.mu.Lock()
+	n := len(s.jobs)
+	s.mu.Unlock()
+	s.writeJSON(w, n)
+}
+
+// Notify sends on an unbuffered channel with the lock held: if the
+// receiver never comes, neither does anyone else who needs the lock.
+func (s *server) Notify(ch chan<- int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch <- len(s.jobs) // want "lockheld: lockheld.server.mu is held across a channel send"
+}
+
+// NotifyNonBlocking drops the event when nobody listens; a select with a
+// default clause never blocks, so holding the lock here is fine.
+func (s *server) NotifyNonBlocking(ch chan<- int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case ch <- len(s.jobs):
+	default:
+	}
+}
+
+// WaitTurn parks on a select with no default while holding the lock.
+func (s *server) WaitTurn(stop chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "lockheld: lockheld.server.mu is held across a select with no default clause"
+	case <-stop:
+	}
+}
+
+// Drain blocks between elements with the lock held.
+func (s *server) Drain(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for n := range ch { // want "lockheld: lockheld.server.mu is held across a range over a channel"
+		s.jobs["last"] = n
+	}
+}
+
+// SpawnUnderLock spawns while holding the lock; the held set does not
+// cross the go statement — the spawned goroutine blocks holding nothing.
+func (s *server) SpawnUnderLock(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		ch <- 1
+	}()
+}
+
+// sink is dispatched through an interface; the engine fans out to every
+// implementation, and fileSink's write makes emit a may-block callee.
+type sink interface{ emit(line string) }
+
+type fileSink struct{ w http.ResponseWriter }
+
+func (f *fileSink) emit(line string) {
+	_, _ = f.w.Write([]byte(line))
+}
+
+// Publish calls through the interface with the lock held.
+func (s *server) Publish(sk sink) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sk.emit("refresh") // want "lockheld: lockheld.server.mu is held across a call to sink.emit"
+}
+
+// flusher writes under its own lock on purpose: serialising concurrent
+// writers is this lock's one job, mirroring the obs sinks.
+type flusher struct {
+	mu sync.Mutex
+	w  http.ResponseWriter
+}
+
+func (f *flusher) flush(line string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	//lint:ignore lockheld serialising writers is this lock's purpose (fixture mirror of the obs sinks)
+	_, _ = f.w.Write([]byte(line))
+}
+
+// registry and table seed a direct ordering inversion.
+type registry struct{ mu sync.Mutex }
+
+type table struct{ mu sync.Mutex }
+
+// LockAB establishes registry-before-table …
+func LockAB(r *registry, t *table) {
+	r.mu.Lock()
+	t.mu.Lock() // want "lockheld: lockheld.table.mu is acquired while lockheld.registry.mu is held"
+	t.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// … and LockBA reverses it: the two paths can each hold what the other
+// wants.
+func LockBA(r *registry, t *table) {
+	t.mu.Lock()
+	r.mu.Lock() // want "lockheld: lockheld.registry.mu is acquired while lockheld.table.mu is held"
+	r.mu.Unlock()
+	t.mu.Unlock()
+}
+
+// cache closes the second inversion interprocedurally: Refresh holds
+// registry.mu while bump's summary says it acquires cache.mu.
+type cache struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *cache) bump() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func Refresh(r *registry, c *cache) {
+	r.mu.Lock()
+	c.bump() // want "lockheld: lockheld.cache.mu is acquired while lockheld.registry.mu is held"
+	r.mu.Unlock()
+}
+
+func Evict(r *registry, c *cache) {
+	c.mu.Lock()
+	r.mu.Lock() // want "lockheld: lockheld.registry.mu is acquired while lockheld.cache.mu is held"
+	r.mu.Unlock()
+	c.mu.Unlock()
+}

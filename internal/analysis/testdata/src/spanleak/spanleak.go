@@ -67,3 +67,41 @@ func GoodBranches(ctx context.Context, mode int) {
 		span.End()
 	}
 }
+
+// BadGoroutine leaks a span opened inside a go-spawned literal — closures
+// are walked just like named functions, spawned or not.
+func BadGoroutine(ctx context.Context) {
+	go func() {
+		_, span := obs.Start(ctx, "bad.goroutine") // want "spanleak: span span goes out of scope without End on the fall-through path"
+		span.Annotate(obs.String("outcome", "lost"))
+	}()
+}
+
+// GoodGoroutine ends its span inside the spawned literal.
+func GoodGoroutine(ctx context.Context) {
+	go func() {
+		_, span := obs.Start(ctx, "good.goroutine")
+		defer span.End()
+	}()
+}
+
+// BadDeferredClosure leaks a span opened inside a deferred closure.
+func BadDeferredClosure(ctx context.Context, fail bool) error {
+	defer func() {
+		_, span := obs.Start(ctx, "bad.deferred")
+		if fail {
+			return // want "spanleak: span span is not ended on this return path"
+		}
+		span.End()
+	}()
+	return nil
+}
+
+// GoodDeferredClosure ends its span on every path out of the deferred
+// closure.
+func GoodDeferredClosure(ctx context.Context) {
+	defer func() {
+		_, span := obs.Start(ctx, "good.deferred")
+		span.End()
+	}()
+}

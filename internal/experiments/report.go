@@ -41,8 +41,16 @@ func (r *Report) Len() int {
 // WriteJSON emits the recorded results as indented JSON, keyed by
 // experiment id, with a metadata envelope.
 func (r *Report) WriteJSON(w io.Writer, scale string, benchmarks []string) error {
+	// Snapshot the map under the lock and encode outside it: w may be a
+	// slow client and Encode serialises arbitrary result payloads, so
+	// holding r.mu across it would stall every concurrent Record.
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	results := make(map[string]interface{}, len(r.results))
+	//lint:ignore detmap map-to-map copy is order-independent; the encoder sorts keys on output
+	for id, res := range r.results {
+		results[id] = res
+	}
+	r.mu.Unlock()
 	envelope := struct {
 		Paper      string                 `json:"paper"`
 		Scale      string                 `json:"scale"`
@@ -52,7 +60,7 @@ func (r *Report) WriteJSON(w io.Writer, scale string, benchmarks []string) error
 		Paper:      "Efficacy of Statistical Sampling on Contemporary Workloads: The Case of SPEC CPU2017 (IISWC 2019)",
 		Scale:      scale,
 		Benchmarks: benchmarks,
-		Results:    r.results,
+		Results:    results,
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
